@@ -1,0 +1,57 @@
+//! End-to-end benchmarks of the building blocks behind each experiment:
+//! a full revenue evaluation (the Fig. 8/9 per-point cost), a threshold
+//! solve (the Fig. 10 per-point cost), and the Table II distance
+//! computation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use seleth_chain::{RewardSchedule, Scenario};
+use seleth_core::threshold::{profitability_threshold, ThresholdOptions};
+use seleth_core::{Analysis, ModelParams};
+
+fn bench_revenue_point(c: &mut Criterion) {
+    let params = ModelParams::with_truncation(0.4, 0.5, RewardSchedule::ethereum(), 150)
+        .expect("valid params");
+    c.bench_function("revenue_breakdown_point", |b| {
+        b.iter(|| {
+            let analysis = Analysis::new(black_box(&params)).expect("solve");
+            analysis.revenue().absolute_pool(Scenario::RegularRate)
+        });
+    });
+}
+
+fn bench_threshold_point(c: &mut Criterion) {
+    let opts = ThresholdOptions {
+        truncation: 80,
+        tolerance: 1e-3,
+        ..Default::default()
+    };
+    c.bench_function("threshold_point_gamma_0_5", |b| {
+        b.iter(|| {
+            profitability_threshold(
+                black_box(0.5),
+                &RewardSchedule::ethereum(),
+                Scenario::RegularRate,
+                opts,
+            )
+            .expect("solver")
+        });
+    });
+}
+
+fn bench_distance_distribution(c: &mut Criterion) {
+    let params = ModelParams::with_truncation(0.45, 0.5, RewardSchedule::ethereum(), 150)
+        .expect("valid params");
+    let analysis = Analysis::new(&params).expect("solve");
+    c.bench_function("table2_distance_distribution", |b| {
+        b.iter(|| black_box(&analysis).honest_uncle_distances().expectation());
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_revenue_point, bench_threshold_point, bench_distance_distribution
+);
+criterion_main!(benches);

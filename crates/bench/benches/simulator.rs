@@ -1,0 +1,58 @@
+//! Simulator throughput benchmarks and the uncle-cap ablation from
+//! DESIGN.md: blocks/second of the tree-backed engine under the paper's
+//! unlimited-references assumption, the real protocol's cap of two, and
+//! the Bitcoin schedule (no referencing at all).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use seleth_chain::RewardSchedule;
+use seleth_sim::{SimConfig, Simulation};
+
+const BLOCKS: u64 = 20_000;
+
+fn config(schedule: RewardSchedule, alpha: f64) -> SimConfig {
+    SimConfig::builder()
+        .alpha(alpha)
+        .gamma(0.5)
+        .schedule(schedule)
+        .blocks(BLOCKS)
+        .n_honest(999)
+        .seed(5)
+        .build()
+        .expect("valid config")
+}
+
+fn bench_schedules(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_20k_blocks");
+    group.throughput(Throughput::Elements(BLOCKS));
+    for (name, schedule) in [
+        ("ethereum_unlimited", RewardSchedule::ethereum()),
+        ("ethereum_cap2", RewardSchedule::ethereum_capped()),
+        ("bitcoin", RewardSchedule::bitcoin()),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| Simulation::new(black_box(config(schedule.clone(), 0.35))).run());
+        });
+    }
+    group.finish();
+}
+
+fn bench_alpha_levels(c: &mut Criterion) {
+    // Higher α → longer private branches → more strategy bookkeeping.
+    let mut group = c.benchmark_group("simulate_alpha");
+    group.throughput(Throughput::Elements(BLOCKS));
+    for &alpha in &[0.0, 0.25, 0.45] {
+        group.bench_with_input(BenchmarkId::from_parameter(alpha), &alpha, |b, &alpha| {
+            b.iter(|| Simulation::new(black_box(config(RewardSchedule::ethereum(), alpha))).run());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_schedules, bench_alpha_levels
+);
+criterion_main!(benches);

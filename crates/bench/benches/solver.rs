@@ -1,0 +1,72 @@
+//! Solver benchmarks and the truncation/method ablation called out in
+//! DESIGN.md: how expensive is the stationary solve at the paper's
+//! truncation level (200), and how do Gauss–Seidel and power iteration
+//! compare on this banded chain?
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use seleth_chain::RewardSchedule;
+use seleth_core::{stationary, ModelParams, State};
+use seleth_markov::{SolveMethod, SolveOptions};
+
+fn params(truncation: u32) -> ModelParams {
+    ModelParams::with_truncation(0.4, 0.5, RewardSchedule::ethereum(), truncation)
+        .expect("valid params")
+}
+
+fn bench_truncation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stationary_truncation");
+    for &n in &[50u32, 100, 200] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let p = params(n);
+            b.iter(|| stationary::solve(black_box(&p)).expect("solve"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_methods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stationary_method");
+    let p = params(80);
+    for (name, method) in [
+        ("gauss_seidel", SolveMethod::GaussSeidel),
+        ("power", SolveMethod::PowerIteration),
+    ] {
+        let opts = SolveOptions {
+            method,
+            tolerance: 1e-12,
+            max_iterations: 5_000_000,
+            check_irreducible: false,
+        };
+        group.bench_function(name, |b| {
+            b.iter(|| stationary::solve_with(black_box(&p), opts).expect("solve"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_closed_form(c: &mut Criterion) {
+    c.bench_function("pi_closed_form_grid_15", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 2..=15u32 {
+                for j in 0..=(i - 2) {
+                    acc += stationary::pi_closed_form(
+                        black_box(0.4),
+                        black_box(0.5),
+                        State::new(i, j),
+                    );
+                }
+            }
+            acc
+        });
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_truncation, bench_methods, bench_closed_form
+);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Extension experiment: uncle rewards as centralization medicine.
+//!
+//! The premise the paper inherits from Ethereum's design rationale
+//! (Section VI): under propagation delay, a large miner orphans fewer of
+//! its own blocks and earns a super-proportional share; paying uncles
+//! compresses that edge. This experiment measures the big miner's
+//! *advantage* (revenue share ÷ hash share) across delays, under Bitcoin
+//! vs Ethereum reward schedules, in an all-honest network — no attack at
+//! all.
+
+use seleth_chain::RewardSchedule;
+use seleth_sim::delay::{DelayConfig, DelaySimulation};
+
+fn run(delay: f64, schedule: RewardSchedule, seed: u64) -> seleth_sim::delay::DelayReport {
+    let config = DelayConfig::builder()
+        // One 30% miner against seven 10% miners (2018-Ethermine-like).
+        .shares(vec![0.3, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1])
+        .delay(delay)
+        .interval(13.0)
+        .blocks(200_000)
+        .seed(seed)
+        .schedule(schedule)
+        .build()
+        .expect("valid config");
+    DelaySimulation::new(config).run()
+}
+
+fn main() {
+    println!("Uncle rewards vs centralization (all-honest network, 13s blocks)\n");
+    println!(
+        "{:>9} {:>12} {:>14} {:>14} {:>12}",
+        "delay[s]", "orphan_rate", "adv30_bitcoin", "adv30_ethereum", "compression"
+    );
+
+    let mut rows = Vec::new();
+    for &delay in &[0.0, 2.0, 4.0, 6.0, 9.0, 13.0] {
+        let btc = run(delay, RewardSchedule::bitcoin(), 77);
+        let eth = run(delay, RewardSchedule::ethereum(), 77);
+        let adv_btc = btc.advantage(0);
+        let adv_eth = eth.advantage(0);
+        let compression = if adv_btc > 1.0 {
+            (adv_btc - adv_eth) / (adv_btc - 1.0) * 100.0
+        } else {
+            0.0
+        };
+        println!(
+            "{delay:>9.1} {:>12.4} {adv_btc:>14.4} {adv_eth:>14.4} {compression:>11.1}%",
+            btc.orphan_rate()
+        );
+        rows.push(seleth_bench::cells(&[
+            delay,
+            btc.orphan_rate(),
+            adv_btc,
+            adv_eth,
+        ]));
+    }
+
+    let path = seleth_bench::write_csv(
+        "delay_centralization.csv",
+        &[
+            "delay",
+            "orphan_rate",
+            "advantage_bitcoin",
+            "advantage_ethereum",
+        ],
+        &rows,
+    );
+    println!("\nReading: 'advantage' is the 30% miner's revenue share over its hash");
+    println!("share (1.0 = fair). Without uncle rewards the advantage grows with the");
+    println!("delay; Ethereum's uncle rewards claw most of it back — the economic");
+    println!("reason the rewards exist, and the security trade-off the paper analyses.");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,54 @@
+//! Fig. 6: hash-power shares of the top Ethereum mining pools (2018-09),
+//! with the profitability thresholds they individually cross.
+
+use seleth_chain::{RewardSchedule, Scenario};
+use seleth_core::threshold::{profitability_threshold, ThresholdOptions};
+use seleth_sim::pools::{combined_top_share, concentration_index, TOP_POOLS_2018};
+
+fn main() {
+    println!("Fig. 6: top Ethereum mining pools by hash power (2018-09)");
+    for p in TOP_POOLS_2018 {
+        let bar = "#".repeat((p.share * 100.0).round() as usize);
+        println!("  {:<14} {:>6.2}%  {bar}", p.name, p.share * 100.0);
+    }
+    println!("  top-2 combined: {:.1}%", combined_top_share(2) * 100.0);
+    println!("  top-5 combined: {:.1}%", combined_top_share(5) * 100.0);
+    println!("  HHI concentration index: {:.3}", concentration_index());
+
+    let opts = ThresholdOptions::default();
+    let t1 = profitability_threshold(
+        0.5,
+        &RewardSchedule::ethereum(),
+        Scenario::RegularRate,
+        opts,
+    )
+    .expect("solver")
+    .expect("profitable");
+    let t2 = profitability_threshold(
+        0.5,
+        &RewardSchedule::ethereum(),
+        Scenario::RegularPlusUncleRate,
+        opts,
+    )
+    .expect("solver")
+    .expect("profitable");
+    println!("\nProfitability thresholds at γ = 0.5 (Ethereum Ku(·)):");
+    println!("  scenario 1 (pre-EIP100): α* = {t1:.3}");
+    println!("  scenario 2 (EIP100):     α* = {t2:.3}");
+    println!("\nPools whose solo hash power already exceeds the thresholds:");
+    for p in TOP_POOLS_2018.iter().filter(|p| p.name != "Others") {
+        println!(
+            "  {:<14} scenario1: {}  scenario2: {}",
+            p.name,
+            if p.share > t1 { "YES" } else { "no" },
+            if p.share > t2 { "YES" } else { "no" },
+        );
+    }
+
+    let rows: Vec<Vec<String>> = TOP_POOLS_2018
+        .iter()
+        .map(|p| vec![p.name.to_string(), format!("{:.4}", p.share)])
+        .collect();
+    let path = seleth_bench::write_csv("fig6_pool_shares.csv", &["pool", "share"], &rows);
+    println!("\nwrote {}", path.display());
+}

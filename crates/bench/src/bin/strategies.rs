@@ -1,0 +1,80 @@
+//! Extension experiment (paper Section VIII, future work): alternative
+//! pool strategies under Ethereum rewards.
+//!
+//! Compares, by simulation, the absolute revenue of the paper's Algorithm 1
+//! against an honest pool (baseline: `U_s = α` exactly) and Lead-Stubborn
+//! mining (Nayak et al.) with uncle/nephew rewards in force. The question
+//! the paper leaves open: once uncle rewards subsidize orphaned blocks,
+//! does stubbornness pay off earlier than in Bitcoin?
+
+use seleth_chain::Scenario;
+use seleth_sim::{multi, PoolStrategy, SimConfig};
+
+fn main() {
+    let gamma = 0.5;
+    let runs: u64 = std::env::var("SELETH_RUNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+    let blocks: u64 = std::env::var("SELETH_BLOCKS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100_000);
+    let scenario = Scenario::RegularRate;
+
+    println!("Strategy comparison (γ = {gamma}, Ethereum Ku(·), {runs} runs × {blocks} blocks)\n");
+    println!(
+        "{:>6} {:>10} {:>10} {:>8} {:>10} {:>8} {:>12}",
+        "alpha", "honest", "selfish", "±", "stubborn", "±", "best"
+    );
+
+    let mut rows = Vec::new();
+    for alpha in seleth_bench::sweep(0.05, 0.45, 0.05) {
+        let mut us = Vec::new();
+        for strategy in [PoolStrategy::Selfish, PoolStrategy::LeadStubborn] {
+            let config = SimConfig::builder()
+                .alpha(alpha)
+                .gamma(gamma)
+                .strategy(strategy)
+                .blocks(blocks)
+                .n_honest(999)
+                .seed(90_000)
+                .build()
+                .expect("valid config");
+            let reports = multi::run_many(&config, runs);
+            us.push(multi::mean_absolute_pool(&reports, scenario));
+        }
+        let (selfish, stubborn) = (us[0], us[1]);
+        let best = if alpha >= selfish.mean.max(stubborn.mean) {
+            "honest"
+        } else if selfish.mean >= stubborn.mean {
+            "selfish"
+        } else {
+            "stubborn"
+        };
+        println!(
+            "{alpha:>6.2} {alpha:>10.4} {:>10.4} {:>8.4} {:>10.4} {:>8.4} {best:>12}",
+            selfish.mean, selfish.std_dev, stubborn.mean, stubborn.std_dev
+        );
+        rows.push(seleth_bench::cells(&[
+            alpha,
+            selfish.mean,
+            selfish.std_dev,
+            stubborn.mean,
+            stubborn.std_dev,
+        ]));
+    }
+
+    let path = seleth_bench::write_csv(
+        "strategies_comparison.csv",
+        &[
+            "alpha",
+            "selfish_us",
+            "selfish_std",
+            "stubborn_us",
+            "stubborn_std",
+        ],
+        &rows,
+    );
+    println!("\nwrote {}", path.display());
+}

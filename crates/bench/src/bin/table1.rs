@@ -1,0 +1,68 @@
+//! Table I: mining reward types in Ethereum vs Bitcoin.
+//!
+//! Structural rather than numerical — the table catalogs which reward types
+//! each chain pays and why. Values are read off the implemented
+//! [`RewardSchedule`]s so the table is backed by code, not prose.
+
+use seleth_chain::RewardSchedule;
+
+fn main() {
+    let eth = RewardSchedule::ethereum();
+    let btc = RewardSchedule::bitcoin();
+    let mark = |b: bool| if b { "X" } else { "-" };
+
+    println!("Table I: mining rewards in Ethereum and Bitcoin");
+    println!(
+        "{:<18} {:>8} {:>8}  Purpose",
+        "Reward", "Ethereum", "Bitcoin"
+    );
+    println!(
+        "{:<18} {:>8} {:>8}  compensate miners' mining cost",
+        "Static reward",
+        mark(eth.static_reward() > 0.0),
+        mark(btc.static_reward() > 0.0)
+    );
+    println!(
+        "{:<18} {:>8} {:>8}  reduce centralization trend of mining",
+        "Uncle reward",
+        mark((1..=6).any(|d| eth.uncle_reward(d) > 0.0)),
+        mark((1..=6).any(|d| btc.uncle_reward(d) > 0.0))
+    );
+    println!(
+        "{:<18} {:>8} {:>8}  encourage miners to reference uncles",
+        "Nephew reward",
+        mark((1..=6).any(|d| eth.nephew_reward(d) > 0.0)),
+        mark((1..=6).any(|d| btc.nephew_reward(d) > 0.0))
+    );
+    println!(
+        "{:<18} {:>8} {:>8}  execution; ignored by the analysis (dwarfed by block rewards)",
+        "Transaction fee", "X", "X"
+    );
+
+    println!("\nEthereum uncle reward schedule Ku(d) (fractions of Ks, Eq. (7)):");
+    for d in 1..=7u64 {
+        println!(
+            "  d = {d}: Ku = {:.4}  Kn = {:.4}",
+            eth.uncle_reward(d),
+            eth.nephew_reward(d)
+        );
+    }
+
+    let rows: Vec<Vec<String>> = (1..=7u64)
+        .map(|d| {
+            vec![
+                d.to_string(),
+                format!("{:.6}", eth.uncle_reward(d)),
+                format!("{:.6}", eth.nephew_reward(d)),
+                format!("{:.6}", btc.uncle_reward(d)),
+                format!("{:.6}", btc.nephew_reward(d)),
+            ]
+        })
+        .collect();
+    let path = seleth_bench::write_csv(
+        "table1_reward_schedule.csv",
+        &["distance", "eth_ku", "eth_kn", "btc_ku", "btc_kn"],
+        &rows,
+    );
+    println!("\nwrote {}", path.display());
+}

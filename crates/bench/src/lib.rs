@@ -1,0 +1,96 @@
+//! Experiment harness for the reproduction of *Selfish Mining in Ethereum*
+//! (Niu & Feng, ICDCS 2019).
+//!
+//! Each table and figure of the paper's evaluation has a dedicated binary
+//! (run with `cargo run --release -p seleth-bench --bin <name>`):
+//!
+//! | Binary       | Reproduces |
+//! |--------------|------------|
+//! | `table1`     | Table I — reward types in Ethereum vs Bitcoin |
+//! | `fig6`       | Fig. 6 — mining-pool hash-power shares (2018-09) |
+//! | `stationary` | Fig. 7 / Eq. (2) — stationary-distribution self-check |
+//! | `fig8`       | Fig. 8 — absolute revenue vs α, theory + simulation |
+//! | `fig9`       | Fig. 9 — revenue under different uncle rewards |
+//! | `fig10`      | Fig. 10 — profitability thresholds vs γ |
+//! | `table2`     | Table II — honest uncle reference distances |
+//! | `discussion` | Section VI — redesigned reward function thresholds |
+//!
+//! Binaries print the same rows/series the paper reports and write CSV
+//! files under `results/` (override with `SELETH_RESULTS`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// Directory where experiment CSVs are written: `$SELETH_RESULTS` if set,
+/// else `./results` relative to the current directory.
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("SELETH_RESULTS").map_or_else(|| PathBuf::from("results"), PathBuf::from)
+}
+
+/// Write a CSV file into [`results_dir`], creating the directory if needed.
+///
+/// # Panics
+///
+/// Panics on I/O failure: experiment binaries have no recovery path and a
+/// loud failure beats silently missing output.
+pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) -> PathBuf {
+    let dir = results_dir();
+    fs::create_dir_all(&dir).expect("create results directory");
+    let path = dir.join(name);
+    let mut file = fs::File::create(&path).expect("create CSV file");
+    writeln!(file, "{}", header.join(",")).expect("write CSV header");
+    for row in rows {
+        writeln!(file, "{}", row.join(",")).expect("write CSV row");
+    }
+    path
+}
+
+/// Inclusive floating-point range with a fixed step, robust to rounding
+/// (e.g. `sweep(0.0, 0.45, 0.025)` yields 19 points ending exactly at 0.45).
+pub fn sweep(start: f64, end: f64, step: f64) -> Vec<f64> {
+    assert!(step > 0.0, "step must be positive");
+    let n = ((end - start) / step).round() as usize;
+    (0..=n).map(|k| start + k as f64 * step).collect()
+}
+
+/// Render a row of f64 cells to CSV strings with 6 significant digits.
+pub fn cells(values: &[f64]) -> Vec<String> {
+    values.iter().map(|v| format!("{v:.6}")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_endpoints_exact() {
+        let s = sweep(0.0, 0.45, 0.025);
+        assert_eq!(s.len(), 19);
+        assert_eq!(s[0], 0.0);
+        assert!((s[18] - 0.45).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweep_single_point() {
+        assert_eq!(sweep(0.5, 0.5, 0.1), vec![0.5]);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let dir = std::env::temp_dir().join("seleth-bench-test");
+        std::env::set_var("SELETH_RESULTS", &dir);
+        let path = write_csv(
+            "t.csv",
+            &["a", "b"],
+            &[cells(&[1.0, 2.0]), cells(&[3.5, 4.25])],
+        );
+        let content = std::fs::read_to_string(path).unwrap();
+        assert!(content.starts_with("a,b\n"));
+        assert!(content.contains("3.500000,4.250000"));
+        std::env::remove_var("SELETH_RESULTS");
+    }
+}

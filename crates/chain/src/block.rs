@@ -1,0 +1,88 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a block within a [`crate::BlockTree`].
+///
+/// Ids are dense arena indices assigned in insertion order; the genesis block
+/// is always id 0. They stand in for the Keccak-256 hashes of real Ethereum
+/// headers — the analysis never needs actual hashing, only identity and
+/// parent links.
+///
+/// ```
+/// use seleth_chain::BlockTree;
+/// let tree = BlockTree::new();
+/// assert_eq!(tree.genesis().index(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BlockId(pub(crate) u32);
+
+impl BlockId {
+    /// The dense arena index of this block.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// Identifier of a miner (or mining pool).
+///
+/// The simulator conventionally gives the selfish pool id 0 and honest
+/// miners ids 1..n, but this crate attaches no meaning to the value.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct MinerId(pub u32);
+
+impl fmt::Display for MinerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "miner{}", self.0)
+    }
+}
+
+/// A block in the tree: header-level data only (the study is
+/// transaction-agnostic; gas fees are ignored as in the paper).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Block {
+    pub(crate) id: BlockId,
+    pub(crate) parent: Option<BlockId>,
+    pub(crate) height: u64,
+    pub(crate) miner: MinerId,
+    pub(crate) uncle_refs: Vec<BlockId>,
+}
+
+impl Block {
+    /// This block's id.
+    pub fn id(&self) -> BlockId {
+        self.id
+    }
+
+    /// Parent id; `None` only for the genesis block.
+    pub fn parent(&self) -> Option<BlockId> {
+        self.parent
+    }
+
+    /// Height above genesis (genesis is 0).
+    pub fn height(&self) -> u64 {
+        self.height
+    }
+
+    /// The miner that produced this block.
+    pub fn miner(&self) -> MinerId {
+        self.miner
+    }
+
+    /// Uncle blocks referenced by this block's header.
+    pub fn uncle_refs(&self) -> &[BlockId] {
+        &self.uncle_refs
+    }
+
+    /// `true` for the genesis block.
+    pub fn is_genesis(&self) -> bool {
+        self.parent.is_none()
+    }
+}

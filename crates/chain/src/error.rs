@@ -1,0 +1,54 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::block::BlockId;
+
+/// Error raised by [`crate::BlockTree`] operations.
+///
+/// ```
+/// use seleth_chain::{BlockTree, MinerId, ChainError};
+/// let mut tree = BlockTree::new();
+/// let bogus = tree.add_block(tree.genesis(), MinerId(0), &[]).unwrap();
+/// let err = tree.add_block(bogus, MinerId(0), &[bogus]).unwrap_err();
+/// assert!(matches!(err, ChainError::SelfReference { .. }));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChainError {
+    /// The referenced parent block does not exist in the tree.
+    UnknownParent {
+        /// The id that was passed as parent.
+        parent: BlockId,
+    },
+    /// An uncle reference points at a block not in the tree.
+    UnknownUncle {
+        /// The id that was passed as an uncle reference.
+        uncle: BlockId,
+    },
+    /// A block attempted to reference its own parent (or itself) as an
+    /// uncle; uncles must be *stale* relatives, never ancestors.
+    SelfReference {
+        /// The offending reference.
+        uncle: BlockId,
+    },
+    /// The tree is full (more than `u32::MAX` blocks).
+    Full,
+}
+
+impl fmt::Display for ChainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChainError::UnknownParent { parent } => {
+                write!(f, "parent block {parent} is not in the tree")
+            }
+            ChainError::UnknownUncle { uncle } => {
+                write!(f, "referenced uncle {uncle} is not in the tree")
+            }
+            ChainError::SelfReference { uncle } => {
+                write!(f, "block cannot reference {uncle}: an uncle must not be the block itself or its parent")
+            }
+            ChainError::Full => write!(f, "block tree is full"),
+        }
+    }
+}
+
+impl Error for ChainError {}

@@ -1,0 +1,329 @@
+use serde::{Deserialize, Serialize};
+
+/// Difficulty-adjustment scenario for *absolute* revenue normalization
+/// (Section IV-E-2 of the paper).
+///
+/// Ethereum did not account for uncle blocks when adjusting mining
+/// difficulty until its third milestone (EIP100 / Byzantium); the paper
+/// therefore evaluates both regimes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scenario {
+    /// Scenario 1: difficulty keeps the *regular* block rate at 1 block per
+    /// time unit (pre-EIP100 Ethereum; Bitcoin).
+    RegularRate,
+    /// Scenario 2: difficulty keeps the *regular + uncle* block rate at 1
+    /// block per time unit (EIP100 / Byzantium).
+    RegularPlusUncleRate,
+}
+
+/// How uncle blocks are rewarded as a function of reference distance.
+///
+/// All values are expressed as fractions of the static block reward `Ks`,
+/// matching the paper's normalization `Ks = 1`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum UncleReward {
+    /// Ethereum Byzantium / EIP100 schedule, Eq. (7) of the paper:
+    /// `Ku(d) = (8 − d)/8` for `1 ≤ d ≤ 6`, zero beyond.
+    Ethereum,
+    /// Fixed fraction for all distances within the schedule's maximum —
+    /// the redesigned reward of Section VI (e.g. `Ku = 4/8`).
+    Fixed(f64),
+    /// Arbitrary table: entry `d − 1` holds `Ku(d)`; zero beyond the table.
+    /// Realizes the paper's "our analysis applies to an arbitrary function
+    /// of `Ku(·)`" claim.
+    Table(Vec<f64>),
+    /// No uncle rewards (Bitcoin).
+    Zero,
+}
+
+/// How nephew (referencing) blocks are rewarded per referenced uncle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum NephewReward {
+    /// Ethereum's constant `Kn = 1/32` per referenced uncle.
+    Ethereum,
+    /// Fixed fraction per referenced uncle.
+    Fixed(f64),
+    /// Arbitrary table indexed by `d − 1`, zero beyond.
+    Table(Vec<f64>),
+    /// No nephew rewards (Bitcoin).
+    Zero,
+}
+
+/// A complete mining reward schedule: static, uncle and nephew rewards plus
+/// the uncle-reference policy knobs.
+///
+/// ```
+/// use seleth_chain::RewardSchedule;
+/// let eth = RewardSchedule::ethereum();
+/// assert_eq!(eth.uncle_reward(1), 7.0 / 8.0);
+/// assert_eq!(eth.uncle_reward(6), 2.0 / 8.0);
+/// assert_eq!(eth.uncle_reward(7), 0.0);
+/// assert_eq!(eth.nephew_reward(3), 1.0 / 32.0);
+///
+/// let btc = RewardSchedule::bitcoin();
+/// assert_eq!(btc.uncle_reward(1), 0.0);
+/// assert_eq!(btc.nephew_reward(1), 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RewardSchedule {
+    static_reward: f64,
+    uncle: UncleReward,
+    nephew: NephewReward,
+    max_uncle_distance: u64,
+    max_uncles_per_block: Option<usize>,
+}
+
+/// Maximum reference distance in Ethereum.
+pub const ETHEREUM_MAX_UNCLE_DISTANCE: u64 = 6;
+
+/// Effective "infinite" reference distance used by
+/// [`RewardSchedule::fixed_uncle_unbounded`].
+pub const UNBOUNDED_UNCLE_DISTANCE: u64 = 64;
+
+impl RewardSchedule {
+    /// The Ethereum Byzantium schedule with the paper's normalization
+    /// `Ks = 1`: `Ku(d) = (8 − d)/8`, `Kn = 1/32`, distances up to 6,
+    /// unlimited uncle references per block (as assumed by the paper's
+    /// Algorithm 1, which references "all unreferenced uncle blocks").
+    pub fn ethereum() -> Self {
+        RewardSchedule {
+            static_reward: 1.0,
+            uncle: UncleReward::Ethereum,
+            nephew: NephewReward::Ethereum,
+            max_uncle_distance: ETHEREUM_MAX_UNCLE_DISTANCE,
+            max_uncles_per_block: None,
+        }
+    }
+
+    /// Like [`RewardSchedule::ethereum`] but with the real protocol's cap of
+    /// two uncle references per block.
+    pub fn ethereum_capped() -> Self {
+        RewardSchedule {
+            max_uncles_per_block: Some(2),
+            ..Self::ethereum()
+        }
+    }
+
+    /// Bitcoin: static rewards only.
+    pub fn bitcoin() -> Self {
+        RewardSchedule {
+            static_reward: 1.0,
+            uncle: UncleReward::Zero,
+            nephew: NephewReward::Zero,
+            max_uncle_distance: 0,
+            max_uncles_per_block: Some(0),
+        }
+    }
+
+    /// Ethereum with a *fixed* uncle reward `ku` (fraction of `Ks`) for all
+    /// distances `1..=6` — the redesign proposed in Section VI of the paper
+    /// (`ku = 4/8`, "if uncle blocks' referencing block distance is between
+    /// 1 and 6").
+    pub fn fixed_uncle(ku: f64) -> Self {
+        RewardSchedule {
+            uncle: UncleReward::Fixed(ku),
+            ..Self::ethereum()
+        }
+    }
+
+    /// A fixed uncle reward paid "regardless of the distance" — the
+    /// schedules swept in Figs. 8 and 9 of the paper, which drop the
+    /// 6-block reference limit entirely.
+    ///
+    /// The distance bound is set to [`UNBOUNDED_UNCLE_DISTANCE`] rather
+    /// than infinity so the simulator's ancestor walks stay finite; the
+    /// stationary mass of leads beyond it is below `1e-5` even at
+    /// `α = 0.45`.
+    pub fn fixed_uncle_unbounded(ku: f64) -> Self {
+        RewardSchedule {
+            uncle: UncleReward::Fixed(ku),
+            max_uncle_distance: UNBOUNDED_UNCLE_DISTANCE,
+            ..Self::ethereum()
+        }
+    }
+
+    /// Fully custom schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `static_reward` is not finite and non-negative.
+    pub fn custom(
+        static_reward: f64,
+        uncle: UncleReward,
+        nephew: NephewReward,
+        max_uncle_distance: u64,
+        max_uncles_per_block: Option<usize>,
+    ) -> Self {
+        assert!(
+            static_reward.is_finite() && static_reward >= 0.0,
+            "static reward must be finite and non-negative"
+        );
+        RewardSchedule {
+            static_reward,
+            uncle,
+            nephew,
+            max_uncle_distance,
+            max_uncles_per_block,
+        }
+    }
+
+    /// The static reward `Ks` paid to each regular block.
+    pub fn static_reward(&self) -> f64 {
+        self.static_reward
+    }
+
+    /// The uncle reward `Ku(distance)`, zero outside `1..=max_distance`.
+    pub fn uncle_reward(&self, distance: u64) -> f64 {
+        if distance == 0 || distance > self.max_uncle_distance {
+            return 0.0;
+        }
+        let ks = self.static_reward;
+        match &self.uncle {
+            UncleReward::Ethereum => ks * (8 - distance.min(7)) as f64 / 8.0,
+            UncleReward::Fixed(v) => ks * v,
+            UncleReward::Table(t) => ks * t.get(distance as usize - 1).copied().unwrap_or(0.0),
+            UncleReward::Zero => 0.0,
+        }
+    }
+
+    /// The nephew reward `Kn(distance)` paid to the referencing block per
+    /// uncle, zero outside `1..=max_distance`.
+    pub fn nephew_reward(&self, distance: u64) -> f64 {
+        if distance == 0 || distance > self.max_uncle_distance {
+            return 0.0;
+        }
+        let ks = self.static_reward;
+        match &self.nephew {
+            NephewReward::Ethereum => ks / 32.0,
+            NephewReward::Fixed(v) => ks * v,
+            NephewReward::Table(t) => ks * t.get(distance as usize - 1).copied().unwrap_or(0.0),
+            NephewReward::Zero => 0.0,
+        }
+    }
+
+    /// Maximum reference distance after which uncles earn nothing.
+    pub fn max_uncle_distance(&self) -> u64 {
+        self.max_uncle_distance
+    }
+
+    /// Cap on uncle references per block (`None` = unlimited, the paper's
+    /// assumption; `Some(2)` = real Ethereum).
+    pub fn max_uncles_per_block(&self) -> Option<usize> {
+        self.max_uncles_per_block
+    }
+
+    /// Replace the per-block uncle cap.
+    pub fn with_max_uncles_per_block(mut self, cap: Option<usize>) -> Self {
+        self.max_uncles_per_block = cap;
+        self
+    }
+
+    /// Replace the maximum reference distance.
+    pub fn with_max_uncle_distance(mut self, d: u64) -> Self {
+        self.max_uncle_distance = d;
+        self
+    }
+
+    /// `true` if the schedule pays any uncle or nephew rewards
+    /// (distinguishes Ethereum-like from Bitcoin-like schedules, Table I).
+    pub fn has_uncle_rewards(&self) -> bool {
+        (1..=self.max_uncle_distance)
+            .any(|d| self.uncle_reward(d) > 0.0 || self.nephew_reward(d) > 0.0)
+    }
+}
+
+impl Default for RewardSchedule {
+    fn default() -> Self {
+        Self::ethereum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ethereum_schedule_matches_eq7() {
+        let s = RewardSchedule::ethereum();
+        for d in 1..=6u64 {
+            assert_eq!(s.uncle_reward(d), (8 - d) as f64 / 8.0, "Ku({d})");
+            assert_eq!(s.nephew_reward(d), 1.0 / 32.0, "Kn({d})");
+        }
+        assert_eq!(s.uncle_reward(0), 0.0);
+        assert_eq!(s.uncle_reward(7), 0.0);
+        assert_eq!(s.nephew_reward(7), 0.0);
+        assert!(s.has_uncle_rewards());
+        assert_eq!(s.max_uncles_per_block(), None);
+    }
+
+    #[test]
+    fn bitcoin_schedule_pays_static_only() {
+        let s = RewardSchedule::bitcoin();
+        assert_eq!(s.static_reward(), 1.0);
+        for d in 0..10 {
+            assert_eq!(s.uncle_reward(d), 0.0);
+            assert_eq!(s.nephew_reward(d), 0.0);
+        }
+        assert!(!s.has_uncle_rewards());
+    }
+
+    #[test]
+    fn fixed_uncle_flat_within_range() {
+        let s = RewardSchedule::fixed_uncle(0.5);
+        for d in 1..=6u64 {
+            assert_eq!(s.uncle_reward(d), 0.5);
+        }
+        assert_eq!(s.uncle_reward(7), 0.0);
+        assert_eq!(s.nephew_reward(3), 1.0 / 32.0);
+    }
+
+    #[test]
+    fn table_schedule_and_bounds() {
+        let s = RewardSchedule::custom(
+            2.0,
+            UncleReward::Table(vec![0.9, 0.1]),
+            NephewReward::Table(vec![0.05]),
+            6,
+            Some(2),
+        );
+        assert_eq!(s.uncle_reward(1), 1.8);
+        assert_eq!(s.uncle_reward(2), 0.2);
+        assert_eq!(s.uncle_reward(3), 0.0); // beyond table
+        assert_eq!(s.nephew_reward(1), 0.1);
+        assert_eq!(s.nephew_reward(2), 0.0);
+        assert_eq!(s.max_uncles_per_block(), Some(2));
+    }
+
+    #[test]
+    fn builder_style_overrides() {
+        let s = RewardSchedule::ethereum()
+            .with_max_uncles_per_block(Some(2))
+            .with_max_uncle_distance(3);
+        assert_eq!(s.max_uncles_per_block(), Some(2));
+        assert_eq!(s.uncle_reward(4), 0.0);
+        assert_eq!(s.uncle_reward(3), 5.0 / 8.0);
+    }
+
+    #[test]
+    fn ethereum_capped_matches_protocol() {
+        let s = RewardSchedule::ethereum_capped();
+        assert_eq!(s.max_uncles_per_block(), Some(2));
+        assert_eq!(s.uncle_reward(1), 7.0 / 8.0);
+    }
+
+    #[test]
+    fn unbounded_fixed_pays_far_uncles() {
+        let s = RewardSchedule::fixed_uncle_unbounded(0.875);
+        assert_eq!(s.uncle_reward(1), 0.875);
+        assert_eq!(s.uncle_reward(7), 0.875);
+        assert_eq!(s.uncle_reward(30), 0.875);
+        assert_eq!(s.uncle_reward(65), 0.0);
+        assert_eq!(s.nephew_reward(30), 1.0 / 32.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_static_reward_panics() {
+        RewardSchedule::custom(-1.0, UncleReward::Zero, NephewReward::Zero, 0, None);
+    }
+}

@@ -1,0 +1,68 @@
+use std::error::Error;
+use std::fmt;
+
+use seleth_markov::SolveError;
+
+/// Error raised when constructing or solving the selfish-mining model.
+///
+/// ```
+/// use seleth_core::ModelParams;
+/// use seleth_chain::RewardSchedule;
+/// let err = ModelParams::new(0.6, 0.5, RewardSchedule::ethereum()).unwrap_err();
+/// assert!(err.to_string().contains("alpha"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnalysisError {
+    /// `α` must lie in `[0, 0.5)`: with half or more of the hash power the
+    /// chain is transient (the pool's lead grows without bound) and no
+    /// stationary distribution exists.
+    InvalidAlpha {
+        /// The rejected value.
+        alpha: f64,
+    },
+    /// `γ` must lie in `[0, 1]`.
+    InvalidGamma {
+        /// The rejected value.
+        gamma: f64,
+    },
+    /// The truncation level must be at least 3 to contain the non-trivial
+    /// states of the model.
+    InvalidTruncation {
+        /// The rejected value.
+        truncation: u32,
+    },
+    /// The underlying linear-algebra solve failed.
+    Solve(SolveError),
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::InvalidAlpha { alpha } => {
+                write!(f, "alpha must be in [0, 0.5), got {alpha}")
+            }
+            AnalysisError::InvalidGamma { gamma } => {
+                write!(f, "gamma must be in [0, 1], got {gamma}")
+            }
+            AnalysisError::InvalidTruncation { truncation } => {
+                write!(f, "truncation must be at least 3, got {truncation}")
+            }
+            AnalysisError::Solve(e) => write!(f, "stationary solve failed: {e}"),
+        }
+    }
+}
+
+impl Error for AnalysisError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AnalysisError::Solve(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SolveError> for AnalysisError {
+    fn from(e: SolveError) -> Self {
+        AnalysisError::Solve(e)
+    }
+}

@@ -1,0 +1,151 @@
+use serde::{Deserialize, Serialize};
+
+use seleth_chain::RewardSchedule;
+
+use crate::error::AnalysisError;
+
+/// Default truncation level for the infinite state space, as used in the
+/// paper's numerical evaluation ("we only consider the states `(i, j)` with
+/// `i` and `j` less than 200", Section V-A footnote).
+pub const DEFAULT_TRUNCATION: u32 = 200;
+
+/// Parameters of the selfish-mining model.
+///
+/// - `alpha`: fraction of total hash power controlled by the selfish pool;
+/// - `gamma`: fraction of honest miners that mine on the pool's branch when
+///   they observe a tie (the pool's communication capability, Section IV-A);
+/// - `schedule`: the reward schedule (`Ks`, `Ku(·)`, `Kn(·)`);
+/// - `truncation`: maximum private-branch length kept in the state space.
+///
+/// ```
+/// use seleth_core::ModelParams;
+/// use seleth_chain::RewardSchedule;
+/// let p = ModelParams::new(0.3, 0.5, RewardSchedule::ethereum()).unwrap();
+/// assert_eq!(p.beta(), 0.7);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelParams {
+    alpha: f64,
+    gamma: f64,
+    schedule: RewardSchedule,
+    truncation: u32,
+}
+
+impl ModelParams {
+    /// Create parameters with the default truncation level.
+    ///
+    /// # Errors
+    ///
+    /// - [`AnalysisError::InvalidAlpha`] unless `0 ≤ alpha < 0.5`;
+    /// - [`AnalysisError::InvalidGamma`] unless `0 ≤ gamma ≤ 1`.
+    pub fn new(alpha: f64, gamma: f64, schedule: RewardSchedule) -> Result<Self, AnalysisError> {
+        Self::with_truncation(alpha, gamma, schedule, DEFAULT_TRUNCATION)
+    }
+
+    /// Create parameters with an explicit truncation level (the paper uses
+    /// 200; lower values trade accuracy for speed — see the `solver`
+    /// benchmark for the ablation).
+    ///
+    /// # Errors
+    ///
+    /// As [`ModelParams::new`], plus [`AnalysisError::InvalidTruncation`]
+    /// if `truncation < 3`.
+    pub fn with_truncation(
+        alpha: f64,
+        gamma: f64,
+        schedule: RewardSchedule,
+        truncation: u32,
+    ) -> Result<Self, AnalysisError> {
+        if !alpha.is_finite() || !(0.0..0.5).contains(&alpha) {
+            return Err(AnalysisError::InvalidAlpha { alpha });
+        }
+        if !gamma.is_finite() || !(0.0..=1.0).contains(&gamma) {
+            return Err(AnalysisError::InvalidGamma { gamma });
+        }
+        if truncation < 3 {
+            return Err(AnalysisError::InvalidTruncation { truncation });
+        }
+        Ok(ModelParams {
+            alpha,
+            gamma,
+            schedule,
+            truncation,
+        })
+    }
+
+    /// Pool hash-power fraction `α`.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Honest hash-power fraction `β = 1 − α`.
+    pub fn beta(&self) -> f64 {
+        1.0 - self.alpha
+    }
+
+    /// Tie-breaking / communication parameter `γ`.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// The reward schedule.
+    pub fn schedule(&self) -> &RewardSchedule {
+        &self.schedule
+    }
+
+    /// State-space truncation level.
+    pub fn truncation(&self) -> u32 {
+        self.truncation
+    }
+
+    /// A copy with a different `α` (convenient for sweeps).
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::InvalidAlpha`] unless `0 ≤ alpha < 0.5`.
+    pub fn with_alpha(&self, alpha: f64) -> Result<Self, AnalysisError> {
+        Self::with_truncation(alpha, self.gamma, self.schedule.clone(), self.truncation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_bounds() {
+        let s = RewardSchedule::ethereum;
+        assert!(ModelParams::new(0.0, 0.0, s()).is_ok());
+        assert!(ModelParams::new(0.499, 1.0, s()).is_ok());
+        assert!(matches!(
+            ModelParams::new(0.5, 0.5, s()),
+            Err(AnalysisError::InvalidAlpha { .. })
+        ));
+        assert!(matches!(
+            ModelParams::new(-0.1, 0.5, s()),
+            Err(AnalysisError::InvalidAlpha { .. })
+        ));
+        assert!(matches!(
+            ModelParams::new(0.3, 1.5, s()),
+            Err(AnalysisError::InvalidGamma { .. })
+        ));
+        assert!(matches!(
+            ModelParams::new(0.3, f64::NAN, s()),
+            Err(AnalysisError::InvalidGamma { .. })
+        ));
+        assert!(matches!(
+            ModelParams::with_truncation(0.3, 0.5, s(), 2),
+            Err(AnalysisError::InvalidTruncation { .. })
+        ));
+    }
+
+    #[test]
+    fn with_alpha_preserves_rest() {
+        let p = ModelParams::with_truncation(0.3, 0.7, RewardSchedule::bitcoin(), 50).unwrap();
+        let q = p.with_alpha(0.1).unwrap();
+        assert_eq!(q.alpha(), 0.1);
+        assert_eq!(q.gamma(), 0.7);
+        assert_eq!(q.truncation(), 50);
+        assert_eq!(q.schedule(), &RewardSchedule::bitcoin());
+    }
+}

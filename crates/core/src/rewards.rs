@@ -1,0 +1,317 @@
+//! Probabilistic reward tracking per state transition (Appendix B of the
+//! paper, Cases 1–12).
+//!
+//! Each transition of the Markov chain mints exactly one new block — the
+//! *target block*. Its eventual fate (regular / uncle / plain stale), the
+//! reference distance if it becomes an uncle, and who collects the matching
+//! nephew reward can all be determined *in expectation* at minting time;
+//! that is the paper's key analytical device. [`case_outcome`] encodes the
+//! twelve cases; [`crate::revenue`] folds them over the stationary
+//! distribution.
+
+use seleth_chain::RewardSchedule;
+
+use crate::chain_model::{Case, Transition};
+use crate::params::ModelParams;
+
+/// The expected fate of a transition's target block.
+///
+/// Probabilities refer to the block minted *by this transition*:
+///
+/// - with probability `p_regular` it ends on the main chain and earns the
+///   static reward `Ks`;
+/// - with probability `p_uncle` it becomes an uncle at distance
+///   `uncle_distance`, earning `Ku(d)` for its miner and `Kn(d)` for the
+///   referencing nephew;
+/// - with the remaining probability it is plain stale and earns nothing.
+///
+/// `pool_share` is the probability that the *target block's miner* is the
+/// selfish pool (1 for pool-mined transitions, 0 for honest ones, `α` for
+/// the shared race-resolution Case 5). `p_nephew_honest` is the probability,
+/// conditioned on the block becoming an uncle, that the nephew reward is
+/// collected by an honest miner.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CaseOutcome {
+    /// Probability the target block becomes a regular block.
+    pub p_regular: f64,
+    /// Probability the target block becomes a referenced uncle.
+    pub p_uncle: f64,
+    /// Reference distance if it becomes an uncle (0 when `p_uncle == 0`).
+    pub uncle_distance: u64,
+    /// Probability the target block's rewards belong to the pool.
+    pub pool_share: f64,
+    /// P(honest miner collects the nephew reward | target becomes uncle).
+    pub p_nephew_honest: f64,
+}
+
+impl CaseOutcome {
+    /// Probability the block ends up plain stale.
+    pub fn p_stale(&self) -> f64 {
+        (1.0 - self.p_regular - self.p_uncle).max(0.0)
+    }
+}
+
+/// Probability that honest miners collect the nephew reward of an uncle
+/// created at lead distance `d` (Cases 7–10 of Appendix B):
+/// honest miners must push the state back to `(0,0)` while the pool mines
+/// nothing (`β^{d−2}` steps), then win the post-consensus race for the
+/// referencing block (`β(1 + αβ(1−γ))`).
+pub fn nephew_honest_probability(alpha: f64, gamma: f64, d: u64) -> f64 {
+    debug_assert!(d >= 2);
+    let beta = 1.0 - alpha;
+    beta.powi(d as i32 - 1) * (1.0 + alpha * beta * (1.0 - gamma))
+}
+
+/// The Appendix-B outcome for one transition, under `params`' reward
+/// schedule (distances beyond the schedule's maximum make the block plain
+/// stale: it can never be referenced).
+///
+/// # Panics
+///
+/// Panics (debug builds) if the transition's case is inconsistent with its
+/// source state; transitions produced by
+/// [`crate::chain_model::transitions`] are always consistent.
+pub fn case_outcome(t: &Transition, params: &ModelParams) -> CaseOutcome {
+    let alpha = params.alpha();
+    let beta = params.beta();
+    let gamma = params.gamma();
+    let max_d = params.schedule().max_uncle_distance();
+
+    // Helper for the honest-uncle cases 7-10: uncle at distance `d` with
+    // certainty, unless the protocol forbids references that far.
+    let honest_uncle = |d: u64| {
+        if d <= max_d {
+            CaseOutcome {
+                p_regular: 0.0,
+                p_uncle: 1.0,
+                uncle_distance: d,
+                pool_share: 0.0,
+                p_nephew_honest: nephew_honest_probability(alpha, gamma, d),
+            }
+        } else {
+            STALE_HONEST
+        }
+    };
+
+    match t.case {
+        // Case 1: honest block on consensus; regular.
+        Case::HonestOnConsensus => CaseOutcome {
+            p_regular: 1.0,
+            p_uncle: 0.0,
+            uncle_distance: 0,
+            pool_share: 0.0,
+            p_nephew_honest: 0.0,
+        },
+        // Case 2: the pool's first withheld block. Regular w.p.
+        // α + αβ + β²γ; uncle at distance 1 w.p. β²(1−γ), in which case an
+        // honest block is the nephew.
+        Case::PoolFirstWithhold => {
+            let p_uncle = if 1 <= max_d {
+                beta * beta * (1.0 - gamma)
+            } else {
+                0.0
+            };
+            CaseOutcome {
+                p_regular: alpha + alpha * beta + beta * beta * gamma,
+                p_uncle,
+                uncle_distance: 1,
+                pool_share: 1.0,
+                p_nephew_honest: 1.0,
+            }
+        }
+        // Case 3 and Case 6: pool block behind a safe lead; regular w.p. 1
+        // (Lemma 1).
+        Case::PoolSecondWithhold | Case::PoolExtendLead => CaseOutcome {
+            p_regular: 1.0,
+            p_uncle: 0.0,
+            uncle_distance: 0,
+            pool_share: 1.0,
+            p_nephew_honest: 0.0,
+        },
+        // Case 4: honest block that ties the pool's published block.
+        // Regular w.p. β(1−γ); uncle at distance 1 w.p. α + βγ. The nephew
+        // is the pool w.p. α (subcase 1) and honest w.p. βγ (subcase 2).
+        Case::HonestTie => {
+            let p_uncle_raw = alpha + beta * gamma;
+            let p_uncle = if 1 <= max_d { p_uncle_raw } else { 0.0 };
+            CaseOutcome {
+                p_regular: beta * (1.0 - gamma),
+                p_uncle,
+                uncle_distance: 1,
+                pool_share: 0.0,
+                p_nephew_honest: if p_uncle_raw > 0.0 {
+                    beta * gamma / p_uncle_raw
+                } else {
+                    0.0
+                },
+            }
+        }
+        // Case 5: the race resolution block is regular whoever mines it;
+        // the pool mined it w.p. α.
+        Case::RaceResolution => CaseOutcome {
+            p_regular: 1.0,
+            p_uncle: 0.0,
+            uncle_distance: 0,
+            pool_share: alpha,
+            p_nephew_honest: 0.0,
+        },
+        // Cases 7-10: honest block that becomes an uncle with certainty at
+        // distance Ls − Lh of the source state.
+        Case::HonestOnPrefix => honest_uncle((t.from.ls - t.from.lh) as u64),
+        Case::HonestOnPrefixClose | Case::HonestAtLeadTwo => honest_uncle(2),
+        Case::HonestFirstFork => honest_uncle(t.from.ls as u64),
+        // Cases 11-12: stale with certainty (the parent is itself stale).
+        Case::HonestExtendPublic | Case::HonestExtendPublicClose => STALE_HONEST,
+    }
+}
+
+const STALE_HONEST: CaseOutcome = CaseOutcome {
+    p_regular: 0.0,
+    p_uncle: 0.0,
+    uncle_distance: 0,
+    pool_share: 0.0,
+    p_nephew_honest: 0.0,
+};
+
+/// Expected uncle reward of the target block (to its miner) and nephew
+/// reward split, in `Ks` units: returns
+/// `(pool_uncle, honest_uncle, pool_nephew, honest_nephew)`.
+pub fn expected_uncle_rewards(
+    outcome: &CaseOutcome,
+    schedule: &RewardSchedule,
+) -> (f64, f64, f64, f64) {
+    if outcome.p_uncle == 0.0 {
+        return (0.0, 0.0, 0.0, 0.0);
+    }
+    let ku = schedule.uncle_reward(outcome.uncle_distance);
+    let kn = schedule.nephew_reward(outcome.uncle_distance);
+    let pool_uncle = outcome.p_uncle * outcome.pool_share * ku;
+    let honest_uncle = outcome.p_uncle * (1.0 - outcome.pool_share) * ku;
+    let honest_nephew = outcome.p_uncle * outcome.p_nephew_honest * kn;
+    let pool_nephew = outcome.p_uncle * (1.0 - outcome.p_nephew_honest) * kn;
+    (pool_uncle, honest_uncle, pool_nephew, honest_nephew)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain_model::transitions;
+    use crate::state::State;
+    use seleth_chain::RewardSchedule;
+
+    fn params(alpha: f64, gamma: f64) -> ModelParams {
+        ModelParams::with_truncation(alpha, gamma, RewardSchedule::ethereum(), 30).unwrap()
+    }
+
+    fn find(params: &ModelParams, from: State, case: Case) -> Transition {
+        transitions(params)
+            .into_iter()
+            .find(|t| t.from == from && t.case == case)
+            .expect("transition present")
+    }
+
+    #[test]
+    fn fate_probabilities_form_distributions() {
+        let p = params(0.35, 0.6);
+        for t in transitions(&p) {
+            let o = case_outcome(&t, &p);
+            assert!((0.0..=1.0).contains(&o.p_regular), "{t:?}");
+            assert!((0.0..=1.0).contains(&o.p_uncle));
+            assert!(o.p_regular + o.p_uncle <= 1.0 + 1e-12);
+            assert!((0.0..=1.0).contains(&o.pool_share));
+            assert!((0.0..=1.0).contains(&o.p_nephew_honest));
+        }
+    }
+
+    #[test]
+    fn case2_matches_appendix() {
+        let p = params(0.3, 0.5);
+        let t = find(&p, State::new(0, 0), Case::PoolFirstWithhold);
+        let o = case_outcome(&t, &p);
+        let (a, b, g) = (0.3, 0.7, 0.5);
+        assert!((o.p_regular - (a + a * b + b * b * g)).abs() < 1e-12);
+        assert!((o.p_uncle - b * b * (1.0 - g)).abs() < 1e-12);
+        assert!(
+            (o.p_regular + o.p_uncle - 1.0).abs() < 1e-12,
+            "case 2 fates exhaust"
+        );
+        assert_eq!(o.uncle_distance, 1);
+        assert_eq!(o.pool_share, 1.0);
+        assert_eq!(o.p_nephew_honest, 1.0);
+    }
+
+    #[test]
+    fn case4_matches_appendix() {
+        let p = params(0.3, 0.5);
+        let t = find(&p, State::new(1, 0), Case::HonestTie);
+        let o = case_outcome(&t, &p);
+        let (a, b, g) = (0.3, 0.7, 0.5);
+        assert!((o.p_regular - b * (1.0 - g)).abs() < 1e-12);
+        assert!((o.p_uncle - (a + b * g)).abs() < 1e-12);
+        assert!((o.p_regular + o.p_uncle - 1.0).abs() < 1e-12);
+        // Nephew: pool w.p. α, honest w.p. βγ (normalized by p_uncle).
+        assert!((o.p_nephew_honest - (b * g) / (a + b * g)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn case7_distance_is_lead() {
+        let p = params(0.3, 0.5);
+        let t = find(&p, State::new(5, 1), Case::HonestOnPrefix);
+        let o = case_outcome(&t, &p);
+        assert_eq!(o.uncle_distance, 4);
+        assert_eq!(o.p_uncle, 1.0);
+        assert_eq!(o.pool_share, 0.0);
+        let want = 0.7f64.powi(3) * (1.0 + 0.3 * 0.7 * 0.5);
+        assert!((o.p_nephew_honest - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn case10_distance_is_full_lead() {
+        let p = params(0.3, 0.5);
+        let t = find(&p, State::new(4, 0), Case::HonestFirstFork);
+        let o = case_outcome(&t, &p);
+        assert_eq!(o.uncle_distance, 4);
+        assert!((o.p_nephew_honest - nephew_honest_probability(0.3, 0.5, 4)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn distances_beyond_protocol_max_are_stale() {
+        let p = params(0.3, 0.5);
+        // From (8,0): distance 8 > 6 → plain stale.
+        let t = find(&p, State::new(8, 0), Case::HonestFirstFork);
+        let o = case_outcome(&t, &p);
+        assert_eq!(o.p_uncle, 0.0);
+        assert_eq!(o.p_stale(), 1.0);
+    }
+
+    #[test]
+    fn bitcoin_schedule_never_creates_uncles() {
+        let p = ModelParams::with_truncation(0.3, 0.5, RewardSchedule::bitcoin(), 30).unwrap();
+        for t in transitions(&p) {
+            let o = case_outcome(&t, &p);
+            assert_eq!(o.p_uncle, 0.0, "{t:?}");
+        }
+    }
+
+    #[test]
+    fn race_resolution_splits_by_hash_power() {
+        let p = params(0.4, 0.5);
+        let t = find(&p, State::new(1, 1), Case::RaceResolution);
+        let o = case_outcome(&t, &p);
+        assert_eq!(o.p_regular, 1.0);
+        assert_eq!(o.pool_share, 0.4);
+    }
+
+    #[test]
+    fn expected_rewards_use_schedule() {
+        let p = params(0.3, 0.5);
+        let t = find(&p, State::new(3, 0), Case::HonestFirstFork);
+        let o = case_outcome(&t, &p);
+        let (pu, hu, pn, hn) = expected_uncle_rewards(&o, p.schedule());
+        assert_eq!(pu, 0.0);
+        assert!((hu - 5.0 / 8.0).abs() < 1e-12, "Ku(3) = 5/8 to honest");
+        let ph = nephew_honest_probability(0.3, 0.5, 3);
+        assert!((hn - ph / 32.0).abs() < 1e-12);
+        assert!((pn - (1.0 - ph) / 32.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,82 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A state `(Ls, Lh)` of the paper's 2-dimensional Markov process.
+///
+/// `Ls` is the length of the selfish pool's private branch, `Lh` the common
+/// length of the public branches seen by honest miners (all public branches
+/// have equal length under the paper's Algorithm 1). The reachable state
+/// space is `(0,0)`, `(1,0)`, `(1,1)`, and `(i,j)` with `i − j ≥ 2`,
+/// `j ≥ 0` (Section IV-B).
+///
+/// ```
+/// use seleth_core::State;
+/// let s = State::new(4, 1);
+/// assert_eq!(s.lead(), 3);
+/// assert!(s.is_valid());
+/// assert!(!State::new(2, 2).is_valid());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct State {
+    /// Private branch length `Ls`.
+    pub ls: u32,
+    /// Public branch length `Lh`.
+    pub lh: u32,
+}
+
+impl State {
+    /// The reset state `(0, 0)` where everyone mines on consensus.
+    pub const START: State = State { ls: 0, lh: 0 };
+
+    /// Construct a state (not necessarily valid; see [`State::is_valid`]).
+    pub const fn new(ls: u32, lh: u32) -> Self {
+        State { ls, lh }
+    }
+
+    /// The pool's advantage `Ls − Lh` (saturating; invalid states where
+    /// `Lh > Ls` report 0).
+    pub fn lead(&self) -> u32 {
+        self.ls.saturating_sub(self.lh)
+    }
+
+    /// `true` if this state is in the reachable state space of the model:
+    /// `(0,0)`, `(1,0)`, `(1,1)`, or `i − j ≥ 2`.
+    pub fn is_valid(&self) -> bool {
+        matches!((self.ls, self.lh), (0, 0) | (1, 0) | (1, 1)) || (self.ls >= self.lh + 2)
+    }
+}
+
+impl fmt::Display for State {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.ls, self.lh)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validity_matches_paper_state_space() {
+        assert!(State::new(0, 0).is_valid());
+        assert!(State::new(1, 0).is_valid());
+        assert!(State::new(1, 1).is_valid());
+        assert!(State::new(2, 0).is_valid());
+        assert!(State::new(5, 3).is_valid());
+        assert!(!State::new(2, 1).is_valid()); // resolved immediately to (0,0)
+        assert!(!State::new(0, 1).is_valid());
+        assert!(!State::new(3, 2).is_valid());
+    }
+
+    #[test]
+    fn lead_saturates() {
+        assert_eq!(State::new(5, 2).lead(), 3);
+        assert_eq!(State::new(0, 0).lead(), 0);
+        assert_eq!(State::new(1, 1).lead(), 0);
+    }
+
+    #[test]
+    fn display_is_tuple_like() {
+        assert_eq!(State::new(4, 1).to_string(), "(4, 1)");
+    }
+}

@@ -1,0 +1,210 @@
+//! Stationary distribution of the selfish-mining chain: numerical solution
+//! and the paper's closed forms (Section IV-C, Eq. (2)).
+
+use seleth_markov::{Distribution, SolveMethod, SolveOptions};
+
+use crate::chain_model;
+use crate::error::AnalysisError;
+use crate::params::ModelParams;
+use crate::state::State;
+use crate::summation::f;
+
+/// Solve the truncated chain numerically.
+///
+/// Gauss–Seidel is the default for this banded chain (it converges in a few
+/// hundred sweeps where power iteration needs tens of thousands); pass a
+/// different [`SolveOptions`] to cross-check methods.
+///
+/// # Errors
+///
+/// Propagates [`AnalysisError::Solve`] from the underlying solver.
+pub fn solve(params: &ModelParams) -> Result<Distribution<State>, AnalysisError> {
+    solve_with(params, default_options())
+}
+
+/// [`solve`] with explicit solver options.
+///
+/// # Errors
+///
+/// Propagates [`AnalysisError::Solve`] from the underlying solver.
+pub fn solve_with(
+    params: &ModelParams,
+    opts: SolveOptions,
+) -> Result<Distribution<State>, AnalysisError> {
+    let dtmc = chain_model::build_dtmc(params);
+    Ok(dtmc.stationary(opts)?)
+}
+
+/// Default solver options used by [`solve`].
+pub fn default_options() -> SolveOptions {
+    SolveOptions {
+        method: SolveMethod::GaussSeidel,
+        tolerance: 1e-13,
+        max_iterations: 100_000,
+        // The truncated chain is irreducible by construction; skip the BFS.
+        check_irreducible: false,
+    }
+}
+
+/// Closed form for `π₀₀` (Eq. (2)):
+/// `π₀₀ = (1 − 2α) / (2α³ − 4α² + 1)`.
+///
+/// ```
+/// use seleth_core::stationary::pi00;
+/// assert!((pi00(0.0) - 1.0).abs() < 1e-12);
+/// assert!(pi00(0.4) > 0.0 && pi00(0.4) < 1.0);
+/// ```
+pub fn pi00(alpha: f64) -> f64 {
+    (1.0 - 2.0 * alpha) / (2.0 * alpha.powi(3) - 4.0 * alpha.powi(2) + 1.0)
+}
+
+/// Closed form for `π_{i,0} = αⁱ π₀₀` (Eq. (2)), `i ≥ 1`.
+pub fn pi_i0(alpha: f64, i: u32) -> f64 {
+    alpha.powi(i as i32) * pi00(alpha)
+}
+
+/// Closed form for `π_{1,1} = (α − α²) π₀₀` (Eq. (2)).
+pub fn pi11(alpha: f64) -> f64 {
+    (alpha - alpha * alpha) * pi00(alpha)
+}
+
+/// The paper's general closed form for `π_{i,j}`, `i ≥ j + 2`, `j ≥ 1`
+/// (Eq. (2)), built on the multiple-summation function
+/// [`crate::summation::f`]:
+///
+/// ```text
+/// π_{i,j} = αⁱ (1−α)ʲ (1−γ)ʲ f(i,j,j) π₀₀
+///         + α^{i−j} γ (1−γ)^{j−1} (1/(1−α)^{i−j−1} − 1) π₀₀
+///         − γ (1−γ)^{j−1} Σ_{k=1}^{j} α^{i−k} (1−α)^{j−k} f(i,j,j−k) π₀₀
+/// ```
+///
+/// Returns the closed forms for `(0,0)`, `(i,0)` and `(1,1)` when those
+/// states are requested, and 0 for states outside the model's state space.
+pub fn pi_closed_form(alpha: f64, gamma: f64, state: State) -> f64 {
+    let State { ls: i, lh: j } = state;
+    match (i, j) {
+        (0, 0) => pi00(alpha),
+        (1, 1) => pi11(alpha),
+        (_, 0) => pi_i0(alpha, i),
+        _ if i >= j + 2 => {
+            let p0 = pi00(alpha);
+            let (a, b, g) = (alpha, 1.0 - alpha, gamma);
+            let (i64i, j64) = (i as i64, j as i64);
+            let term1 =
+                a.powi(i as i32) * b.powi(j as i32) * (1.0 - g).powi(j as i32) * f(i64i, j64, j64);
+            let term2 = a.powi((i - j) as i32)
+                * g
+                * (1.0 - g).powi(j as i32 - 1)
+                * (1.0 / b.powi((i - j) as i32 - 1) - 1.0);
+            let mut term3 = 0.0;
+            for k in 1..=j64 {
+                term3 +=
+                    a.powi((i64i - k) as i32) * b.powi((j64 - k) as i32) * f(i64i, j64, j64 - k);
+            }
+            term3 *= g * (1.0 - g).powi(j as i32 - 1);
+            (term1 + term2 - term3) * p0
+        }
+        _ => 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seleth_chain::RewardSchedule;
+
+    fn params(alpha: f64, gamma: f64) -> ModelParams {
+        ModelParams::with_truncation(alpha, gamma, RewardSchedule::ethereum(), 120).unwrap()
+    }
+
+    #[test]
+    fn pi00_reference_values() {
+        // alpha = 0.3: (1 - 0.6) / (0.054 - 0.36 + 1) = 0.4 / 0.694
+        assert!((pi00(0.3) - 0.4 / 0.694).abs() < 1e-12);
+        // Monotonically decreasing in alpha (Remark 2).
+        let mut prev = pi00(0.0);
+        for k in 1..50 {
+            let v = pi00(k as f64 * 0.01);
+            assert!(v < prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn numeric_matches_pi00_pi10_pi11() {
+        for &(alpha, gamma) in &[(0.1, 0.5), (0.3, 0.5), (0.4, 0.2), (0.45, 0.9)] {
+            let dist = solve(&params(alpha, gamma)).unwrap();
+            let got00 = dist.prob(&State::new(0, 0));
+            assert!(
+                (got00 - pi00(alpha)).abs() < 1e-9,
+                "pi00 alpha={alpha} gamma={gamma}: got {got00}, want {}",
+                pi00(alpha)
+            );
+            for i in 1..=8 {
+                let got = dist.prob(&State::new(i, 0));
+                assert!(
+                    (got - pi_i0(alpha, i)).abs() < 1e-9,
+                    "pi_{i}0 alpha={alpha}: got {got}, want {}",
+                    pi_i0(alpha, i)
+                );
+            }
+            let got11 = dist.prob(&State::new(1, 1));
+            assert!((got11 - pi11(alpha)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn numeric_matches_general_closed_form() {
+        for &(alpha, gamma) in &[(0.25, 0.0), (0.3, 0.5), (0.4, 1.0), (0.45, 0.3)] {
+            let dist = solve(&params(alpha, gamma)).unwrap();
+            for i in 3..=12u32 {
+                for j in 1..=(i - 2) {
+                    let s = State::new(i, j);
+                    let want = pi_closed_form(alpha, gamma, s);
+                    let got = dist.prob(&s);
+                    assert!(
+                        (got - want).abs() < 1e-9,
+                        "pi({i},{j}) alpha={alpha} gamma={gamma}: numeric {got}, closed {want}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let dist = solve(&params(0.4, 0.5)).unwrap();
+        let total: f64 = dist.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn geometric_decay_allows_truncation() {
+        // Remark 3: pi_{i,0} < 1e-6 for i >= 15 at alpha = 0.4.
+        assert!(pi_i0(0.4, 15) < 1e-5);
+        assert!(pi_i0(0.4, 20) < 1e-7);
+    }
+
+    #[test]
+    fn alpha_zero_degenerates_to_all_honest() {
+        let dist = solve(&params(0.0, 0.5)).unwrap();
+        assert!((dist.prob(&State::new(0, 0)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solver_methods_agree() {
+        let p = ModelParams::with_truncation(0.35, 0.6, RewardSchedule::ethereum(), 40).unwrap();
+        let gs = solve_with(&p, default_options()).unwrap();
+        let power = solve_with(
+            &p,
+            SolveOptions {
+                method: SolveMethod::PowerIteration,
+                tolerance: 1e-13,
+                max_iterations: 2_000_000,
+                check_irreducible: false,
+            },
+        )
+        .unwrap();
+        assert!(gs.l1_distance(&power) < 1e-7);
+    }
+}

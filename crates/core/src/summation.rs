@@ -1,0 +1,130 @@
+//! The multiple-summation function `f(x, y, z)` of Appendix A.
+//!
+//! `f(x, y, z)` is the `z`-fold nested sum
+//!
+//! ```text
+//! f(x,y,z) = Σ_{s_z = y+2}^{x}  Σ_{s_{z−1} = y+1}^{s_z} … Σ_{s_1 = y−z+3}^{s_2} 1
+//! ```
+//!
+//! for `z ≥ 1`, `x ≥ y + 2`, and `0` otherwise. It appears in the closed
+//! form of the stationary probabilities `π_{i,j}` (Eq. (2) of the paper).
+//!
+//! The implementation runs the recurrence bottom-up with prefix sums:
+//! `O(z · (x − y))` time instead of the exponential literal nesting.
+
+/// Evaluate `f(x, y, z)` (Appendix A).
+///
+/// Inputs are `i64` so callers can form expressions like `f(i, j, j - k)`
+/// without underflow gymnastics; any `z ≤ 0` or `x < y + 2` returns 0.
+///
+/// ```
+/// use seleth_core::summation::f;
+/// // Example 1 of the paper: f(x, y, 1) = x − y − 1.
+/// assert_eq!(f(10, 3, 1), 6.0);
+/// // Example 2: f(x, y, 2) = (x − y − 1)(x − y + 2)/2.
+/// assert_eq!(f(10, 3, 2), (6 * 9 / 2) as f64);
+/// ```
+pub fn f(x: i64, y: i64, z: i64) -> f64 {
+    if z < 1 || x < y + 2 {
+        return 0.0;
+    }
+    // Level m ∈ 1..=z has index s_m with lower bound L(m) = y − z + m + 2
+    // and upper bound s_{m+1} (or x for m = z).
+    //
+    // Define g_m(u) = number of valid (s_1, …, s_m) with s_m ≤ u.
+    // Then g_0 ≡ 1 and g_m(u) = Σ_{s = L(m)}^{u} g_{m−1}(s),
+    // and f = g_z(x).
+    //
+    // We tabulate g over the index range [y − z + 2, x] (one below the
+    // smallest lower bound, so prefix sums are easy).
+    let lo = y - z + 2;
+    let width = (x - lo + 1) as usize;
+    let mut g = vec![1.0f64; width]; // g_0
+    for m in 1..=z {
+        let lower = y - z + m + 2;
+        let mut next = vec![0.0f64; width];
+        let mut acc = 0.0;
+        for (idx, item) in next.iter_mut().enumerate() {
+            let s = lo + idx as i64;
+            if s >= lower {
+                acc += g[idx];
+            }
+            *item = acc;
+        }
+        g = next;
+    }
+    g[width - 1]
+}
+
+/// Literal (exponential) evaluation of the nested sums, used to validate
+/// the fast implementation in tests. Only sensible for small inputs.
+pub fn f_naive(x: i64, y: i64, z: i64) -> f64 {
+    if z < 1 || x < y + 2 {
+        return 0.0;
+    }
+    fn rec(level: i64, z: i64, y: i64, upper: i64) -> f64 {
+        if level == 0 {
+            return 1.0;
+        }
+        let lower = y - z + level + 2;
+        let mut total = 0.0;
+        let mut s = lower;
+        while s <= upper {
+            total += rec(level - 1, z, y, s);
+            s += 1;
+        }
+        total
+    }
+    rec(z, z, y, x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_1_of_appendix_a() {
+        for (x, y) in [(5i64, 0i64), (7, 2), (10, 8), (4, 2)] {
+            assert_eq!(f(x, y, 1), (x - y - 1) as f64, "f({x},{y},1)");
+        }
+    }
+
+    #[test]
+    fn example_2_of_appendix_a() {
+        for (x, y) in [(5i64, 0i64), (7, 2), (12, 3)] {
+            let expected = ((x - y - 1) * (x - y + 2)) as f64 / 2.0;
+            assert_eq!(f(x, y, 2), expected, "f({x},{y},2)");
+        }
+    }
+
+    #[test]
+    fn out_of_domain_is_zero() {
+        assert_eq!(f(5, 4, 1), 0.0); // x < y + 2
+        assert_eq!(f(5, 0, 0), 0.0); // z < 1
+        assert_eq!(f(5, 0, -3), 0.0);
+        assert_eq!(f(1, 0, 2), 0.0);
+    }
+
+    #[test]
+    fn fast_matches_naive() {
+        for x in 2..=12i64 {
+            for y in 0..=(x - 2) {
+                for z in 1..=6i64 {
+                    assert_eq!(f(x, y, z), f_naive(x, y, z), "f({x},{y},{z})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn monotone_in_x() {
+        for z in 1..=4i64 {
+            let mut prev = 0.0;
+            for x in 3..20i64 {
+                let v = f(x, 1, z);
+                assert!(v >= prev);
+                prev = v;
+            }
+        }
+    }
+}

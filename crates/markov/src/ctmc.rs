@@ -1,0 +1,198 @@
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use crate::distribution::Distribution;
+use crate::dtmc::Dtmc;
+use crate::error::SolveError;
+use crate::solve::{self, SolveOptions};
+
+/// A continuous-time Markov chain described by transition *rates*.
+///
+/// The stationary distribution is computed by uniformization: with `Λ` an
+/// upper bound on the total exit rate of any state, the DTMC
+/// `P = I + Q/Λ` has the same stationary distribution as the CTMC.
+///
+/// Note that this differs from the *embedded jump chain* (obtained from
+/// [`crate::ChainBuilder::build_dtmc`]) whenever exit rates are not uniform
+/// across states; the selfish-mining chain of the paper has uniform total
+/// rate `α + β = 1`, in which case the two coincide.
+///
+/// ```
+/// use seleth_markov::{ChainBuilder, SolveOptions};
+/// let mut b = ChainBuilder::new();
+/// // Machine: working -> broken at rate 0.1, repaired at rate 1.0.
+/// b.add_rate("up", "down", 0.1);
+/// b.add_rate("down", "up", 1.0);
+/// let pi = b.build_ctmc().stationary(SolveOptions::default()).unwrap();
+/// assert!((pi.prob(&"up") - 1.0 / 1.1).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ctmc<S> {
+    states: Vec<S>,
+    index: HashMap<S, usize>,
+    rows: Vec<Vec<(usize, f64)>>,
+}
+
+impl<S: Eq + Hash + Clone> Ctmc<S> {
+    pub(crate) fn from_parts(
+        states: Vec<S>,
+        index: HashMap<S, usize>,
+        rows: Vec<Vec<(usize, f64)>>,
+    ) -> Self {
+        Ctmc {
+            states,
+            index,
+            rows,
+        }
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// `true` if the chain has no states.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// The states in dense-index order.
+    pub fn states(&self) -> &[S] {
+        &self.states
+    }
+
+    /// Transition rate `from → to` (0 if absent). Self-loop rates are
+    /// ignored by the CTMC semantics but preserved here for inspection.
+    pub fn rate(&self, from: &S, to: &S) -> f64 {
+        let (Some(&fi), Some(&ti)) = (self.index.get(from), self.index.get(to)) else {
+            return 0.0;
+        };
+        self.rows[fi]
+            .iter()
+            .find(|&&(j, _)| j == ti)
+            .map_or(0.0, |&(_, r)| r)
+    }
+
+    /// Total exit rate of `state` (excluding any self-loop).
+    pub fn exit_rate(&self, state: &S) -> f64 {
+        let Some(&i) = self.index.get(state) else {
+            return 0.0;
+        };
+        self.rows[i]
+            .iter()
+            .filter(|&&(j, _)| j != i)
+            .map(|&(_, r)| r)
+            .sum()
+    }
+
+    /// Uniformize into a DTMC with the same stationary distribution.
+    ///
+    /// Uses `Λ = 1.1 × max exit rate` (the slack guarantees aperiodicity by
+    /// giving every state a self-loop).
+    pub fn uniformized(&self) -> Dtmc<S> {
+        let max_exit = self
+            .states
+            .iter()
+            .map(|s| self.exit_rate(s))
+            .fold(0.0f64, f64::max)
+            .max(f64::MIN_POSITIVE);
+        let lambda = 1.1 * max_exit;
+        let mut rows: Vec<Vec<(usize, f64)>> = Vec::with_capacity(self.rows.len());
+        for (i, row) in self.rows.iter().enumerate() {
+            let mut out: Vec<(usize, f64)> = row
+                .iter()
+                .filter(|&&(j, _)| j != i)
+                .map(|&(j, r)| (j, r / lambda))
+                .collect();
+            let exit: f64 = out.iter().map(|&(_, p)| p).sum();
+            out.push((i, 1.0 - exit));
+            out.sort_unstable_by_key(|&(j, _)| j);
+            rows.push(out);
+        }
+        Dtmc::from_parts(self.states.clone(), self.index.clone(), rows)
+    }
+
+    /// Compute the stationary distribution of the CTMC (via uniformization).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError`] under the same conditions as
+    /// [`Dtmc::stationary`].
+    pub fn stationary(&self, opts: SolveOptions) -> Result<Distribution<S>, SolveError> {
+        // Validate on the raw structure first so dead ends are reported in
+        // terms of the user's chain, not the uniformized one (which gives
+        // every state a self-loop).
+        if self.rows.is_empty() {
+            return Err(SolveError::EmptyChain);
+        }
+        for (i, row) in self.rows.iter().enumerate() {
+            if row.iter().all(|&(j, _)| j == i) {
+                return Err(SolveError::DeadEndState { index: i });
+            }
+        }
+        if opts.check_irreducible {
+            solve::check_irreducible(&self.rows)?;
+        }
+        let mut inner_opts = opts;
+        inner_opts.check_irreducible = false;
+        self.uniformized().stationary(inner_opts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ChainBuilder;
+
+    #[test]
+    fn exit_rate_ignores_self_loops() {
+        let mut b = ChainBuilder::new();
+        b.add_rate(0, 0, 5.0);
+        b.add_rate(0, 1, 2.0);
+        b.add_rate(1, 0, 1.0);
+        let c = b.build_ctmc();
+        assert_eq!(c.exit_rate(&0), 2.0);
+        assert_eq!(c.rate(&0, &0), 5.0);
+    }
+
+    #[test]
+    fn nonuniform_rates_differ_from_jump_chain() {
+        // up->down rate 0.1, down->up rate 1.0. CTMC stationary: up = 10/11.
+        // The embedded jump chain alternates, stationary (1/2, 1/2).
+        let mut b = ChainBuilder::new();
+        b.add_rate("up", "down", 0.1);
+        b.add_rate("down", "up", 1.0);
+        let ctmc = b.clone().build_ctmc();
+        let pi_ct = ctmc.stationary(SolveOptions::default()).unwrap();
+        assert!((pi_ct.prob(&"up") - 10.0 / 11.0).abs() < 1e-9);
+        let pi_jump = b.build_dtmc().stationary(SolveOptions::default()).unwrap();
+        assert!((pi_jump.prob(&"up") - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dead_end_is_reported_pre_uniformization() {
+        let mut b = ChainBuilder::new();
+        b.add_rate(0, 1, 1.0);
+        b.add_rate(1, 1, 3.0); // only a self-loop: absorbing
+        let c = b.build_ctmc();
+        let err = c.stationary(SolveOptions::default()).unwrap_err();
+        assert_eq!(err, SolveError::DeadEndState { index: 1 });
+    }
+
+    #[test]
+    fn birth_death_matches_closed_form() {
+        // M/M/1/K as a CTMC directly (no manual uniformization needed).
+        let (lambda, mu, k) = (2.0, 3.0, 12usize);
+        let mut b = ChainBuilder::new();
+        for i in 0..k {
+            b.add_rate(i, i + 1, lambda);
+            b.add_rate(i + 1, i, mu);
+        }
+        let pi = b.build_ctmc().stationary(SolveOptions::default()).unwrap();
+        let rho: f64 = lambda / mu;
+        let z: f64 = (0..=k).map(|i| rho.powi(i as i32)).sum();
+        for i in 0..=k {
+            assert!((pi.prob(&i) - rho.powi(i as i32) / z).abs() < 1e-9);
+        }
+    }
+}

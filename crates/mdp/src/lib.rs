@@ -1,0 +1,44 @@
+//! Optimal selfish-mining strategies via Markov decision processes.
+//!
+//! *Selfish Mining in Ethereum* analyses one fixed strategy (Algorithm 1)
+//! and notes it "isn't necessarily optimal" (Remark 1); its related work
+//! leans on Sapirshtein et al. (FC 2016) and Gervais et al. (CCS 2016),
+//! who compute *optimal* withholding strategies for Bitcoin as an
+//! average-reward MDP. This crate implements that machinery from scratch:
+//!
+//! - the standard state space `(a, h, fork)` — attacker chain length,
+//!   honest chain length, and whether a published fork race is relevant or
+//!   active — with the four actions *adopt / override / match / wait*;
+//! - the relative-revenue transformation: for a candidate revenue share
+//!   `ρ`, per-step rewards become `(1−ρ)·r_attacker − ρ·r_honest`, and the
+//!   optimal share is the `ρ*` at which the optimal average reward is
+//!   zero. `ρ*` is found by bisection over relative value iterations;
+//! - two reward models: exact Bitcoin (validated against Eyal–Sirer's
+//!   closed form where SM1 is optimal, and against Sapirshtein et al.'s
+//!   published optimal revenue 0.37077 at `α = 0.35, γ = 0`), and a
+//!   documented
+//!   first-order approximation of Ethereum's uncle/nephew rewards
+//!   ([`RewardModel::EthereumApprox`]), which lets the optimal-play
+//!   analysis reproduce the paper's headline — Ethereum is strictly more
+//!   vulnerable — beyond the fixed Algorithm 1.
+//!
+//! # Example
+//!
+//! ```
+//! use seleth_mdp::{MdpConfig, RewardModel};
+//!
+//! // Optimal Bitcoin selfish mining at α = 0.3 with uniform tie-breaking
+//! // (γ = 0.5): profitable — the honest baseline would earn exactly 0.3.
+//! let config = MdpConfig::new(0.3, 0.5, RewardModel::Bitcoin).with_max_len(40);
+//! let solution = config.solve().unwrap();
+//! assert!(solution.revenue > 0.3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod model;
+mod solver;
+
+pub use model::{Action, Fork, MdpConfig, MdpError, MdpState, RewardModel};
+pub use solver::{Policy, Solution};

@@ -1,0 +1,470 @@
+//! Propagation-delay study: why uncle rewards exist at all.
+//!
+//! Section VI of the paper recalls that uncle and nephew rewards were
+//! introduced to counter *centralization bias*: with real propagation
+//! delay, large miners hear about their own blocks instantly and therefore
+//! orphan fewer of them, earning a super-proportional revenue share.
+//! Rewarding stale blocks compresses that advantage.
+//!
+//! This module simulates an **all-honest** network with a propagation
+//! delay: block production is a Poisson process over weighted miners; a
+//! block published at time `t` becomes visible to others at `t + delay`,
+//! while its producer sees it immediately. Each miner mines on the longest
+//! chain *it can see* and references every visible eligible uncle.
+//! Accounting then reuses the standard tree machinery, so the same run can
+//! be scored under Ethereum and Bitcoin reward schedules.
+//!
+//! ```
+//! use seleth_sim::delay::{DelayConfig, DelaySimulation};
+//!
+//! // Two miners, one 10x larger; blocks every 13 "seconds", 6-second delay.
+//! let config = DelayConfig::builder()
+//!     .shares(vec![0.6, 0.2, 0.2])
+//!     .delay(6.0)
+//!     .blocks(5_000)
+//!     .seed(1)
+//!     .build()
+//!     .unwrap();
+//! let report = DelaySimulation::new(config).run();
+//! // The large miner orphans proportionally fewer of its blocks.
+//! assert!(report.stale_fraction(0) <= report.stale_fraction(1) + 0.05);
+//! ```
+
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+
+use seleth_chain::accounting::{self, MinerRewards};
+use seleth_chain::forkchoice::{longest_chain, TieBreak};
+use seleth_chain::{BlockId, BlockTree, MinerId, RewardSchedule};
+
+use crate::config::SimError;
+
+/// Configuration of a delay study run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DelayConfig {
+    shares: Vec<f64>,
+    delay: f64,
+    interval: f64,
+    blocks: u64,
+    seed: u64,
+    schedule: RewardSchedule,
+}
+
+/// Builder for [`DelayConfig`].
+#[derive(Debug, Clone)]
+pub struct DelayConfigBuilder {
+    shares: Vec<f64>,
+    delay: f64,
+    interval: f64,
+    blocks: u64,
+    seed: u64,
+    schedule: RewardSchedule,
+}
+
+impl Default for DelayConfigBuilder {
+    fn default() -> Self {
+        DelayConfigBuilder {
+            shares: vec![0.25; 4],
+            delay: 6.0,
+            interval: 13.0,
+            blocks: 100_000,
+            seed: 0,
+            schedule: RewardSchedule::ethereum(),
+        }
+    }
+}
+
+impl DelayConfigBuilder {
+    /// Hash-power shares per miner (normalized at build).
+    pub fn shares(&mut self, shares: Vec<f64>) -> &mut Self {
+        self.shares = shares;
+        self
+    }
+
+    /// Propagation delay, in the same time unit as `interval`.
+    pub fn delay(&mut self, delay: f64) -> &mut Self {
+        self.delay = delay;
+        self
+    }
+
+    /// Mean block interval (Ethereum ≈ 13 s; Bitcoin 600 s).
+    pub fn interval(&mut self, interval: f64) -> &mut Self {
+        self.interval = interval;
+        self
+    }
+
+    /// Number of blocks to mine.
+    pub fn blocks(&mut self, blocks: u64) -> &mut Self {
+        self.blocks = blocks;
+        self
+    }
+
+    /// RNG seed.
+    pub fn seed(&mut self, seed: u64) -> &mut Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Reward schedule used for accounting.
+    pub fn schedule(&mut self, schedule: RewardSchedule) -> &mut Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Validate and build.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::NoHonestMiners`] without at least two miners (a solo
+    /// network has no propagation), [`SimError::NoBlocks`] for an empty
+    /// budget, [`SimError::InvalidAlpha`] if shares are not positive
+    /// finite numbers or the delay/interval are not positive.
+    pub fn build(&self) -> Result<DelayConfig, SimError> {
+        if self.shares.len() < 2 {
+            return Err(SimError::NoHonestMiners);
+        }
+        if self.blocks == 0 {
+            return Err(SimError::NoBlocks);
+        }
+        let total: f64 = self.shares.iter().sum();
+        if !total.is_finite()
+            || total <= 0.0
+            || self.shares.iter().any(|s| !s.is_finite() || *s < 0.0)
+        {
+            return Err(SimError::InvalidAlpha { alpha: total });
+        }
+        let timing_ok = self.delay.is_finite()
+            && self.delay >= 0.0
+            && self.interval.is_finite()
+            && self.interval > 0.0;
+        if !timing_ok {
+            return Err(SimError::InvalidAlpha { alpha: self.delay });
+        }
+        Ok(DelayConfig {
+            shares: self.shares.iter().map(|s| s / total).collect(),
+            delay: self.delay,
+            interval: self.interval,
+            blocks: self.blocks,
+            seed: self.seed,
+            schedule: self.schedule.clone(),
+        })
+    }
+}
+
+impl DelayConfig {
+    /// Start building a configuration.
+    pub fn builder() -> DelayConfigBuilder {
+        DelayConfigBuilder::default()
+    }
+
+    /// Normalized hash shares.
+    pub fn shares(&self) -> &[f64] {
+        &self.shares
+    }
+
+    /// RNG seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Propagation delay.
+    pub fn delay(&self) -> f64 {
+        self.delay
+    }
+
+    /// Mean block interval.
+    pub fn interval(&self) -> f64 {
+        self.interval
+    }
+}
+
+/// The delay-study simulator.
+#[derive(Debug)]
+pub struct DelaySimulation {
+    config: DelayConfig,
+    rng: ChaCha12Rng,
+    tree: BlockTree,
+    /// Publication time per block (creation time; visible to others at
+    /// `+delay`).
+    pub_time: Vec<f64>,
+    /// Best (highest, earliest-seen) block among those visible to all.
+    best_public: BlockId,
+    /// Blocks still inside someone's delay window, oldest first.
+    recent: std::collections::VecDeque<BlockId>,
+    now: f64,
+}
+
+/// Outcome of a delay run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DelayReport {
+    /// Normalized hash shares the run used.
+    pub shares: Vec<f64>,
+    /// Per-miner accounting.
+    pub report: accounting::RewardReport,
+}
+
+impl DelaySimulation {
+    /// Set up a run.
+    pub fn new(config: DelayConfig) -> Self {
+        let tree = BlockTree::new();
+        let rng = ChaCha12Rng::seed_from_u64(config.seed());
+        let best_public = tree.genesis();
+        DelaySimulation {
+            config,
+            rng,
+            tree,
+            pub_time: vec![f64::NEG_INFINITY], // genesis: always visible
+            best_public,
+            recent: std::collections::VecDeque::new(),
+            now: 0.0,
+        }
+    }
+
+    /// Run to the block budget and account the tree.
+    pub fn run(mut self) -> DelayReport {
+        for _ in 0..self.config.blocks {
+            self.step();
+        }
+        let chain = longest_chain(&self.tree, TieBreak::FirstSeen);
+        let report = accounting::account(&self.tree, &chain, &self.config.schedule);
+        DelayReport {
+            shares: self.config.shares.clone(),
+            report,
+        }
+    }
+
+    fn step(&mut self) {
+        // Exponential inter-arrival; the winner is share-weighted.
+        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        self.now += -self.config.interval * u.ln();
+        let miner = self.pick_miner();
+
+        // Promote fully propagated recent blocks into the public frontier.
+        let horizon = self.now - self.config.delay;
+        while let Some(&front) = self.recent.front() {
+            if self.pub_time[front.index()] <= horizon {
+                self.recent.pop_front();
+                if self.tree.height(front) > self.tree.height(self.best_public) {
+                    self.best_public = front;
+                }
+            } else {
+                break;
+            }
+        }
+
+        // The miner's view: the global public frontier plus any block it
+        // mined itself that is still propagating.
+        let mut tip = self.best_public;
+        for &b in &self.recent {
+            if self.tree.block(b).miner() == miner && self.tree.height(b) > self.tree.height(tip) {
+                tip = b;
+            }
+        }
+
+        let refs = self.collect_refs(tip, miner);
+        let id = self
+            .tree
+            .add_block(tip, miner, &refs)
+            .expect("engine-created ids");
+        self.pub_time.push(self.now);
+        self.recent.push_back(id);
+    }
+
+    fn pick_miner(&mut self) -> MinerId {
+        let x: f64 = self.rng.gen_range(0.0..1.0);
+        let mut acc = 0.0;
+        for (i, share) in self.config.shares.iter().enumerate() {
+            acc += share;
+            if x < acc {
+                return MinerId(i as u32);
+            }
+        }
+        MinerId(self.config.shares.len() as u32 - 1)
+    }
+
+    /// Ethereum uncle referencing against the miner's *visible* blocks.
+    fn collect_refs(&self, parent: BlockId, miner: MinerId) -> Vec<BlockId> {
+        let schedule = &self.config.schedule;
+        let max_d = schedule.max_uncle_distance();
+        if max_d == 0 {
+            return Vec::new();
+        }
+        let cap = schedule.max_uncles_per_block().unwrap_or(usize::MAX);
+        if cap == 0 {
+            return Vec::new();
+        }
+        let new_height = self.tree.height(parent) + 1;
+        let horizon = self.now - self.config.delay;
+
+        let mut ancestors = Vec::with_capacity(max_d as usize + 1);
+        let mut cur = parent;
+        for _ in 0..=max_d {
+            ancestors.push(cur);
+            match self.tree.block(cur).parent() {
+                Some(p) => cur = p,
+                None => break,
+            }
+        }
+        let on_chain: std::collections::HashSet<BlockId> = ancestors.iter().copied().collect();
+        let referenced: std::collections::HashSet<BlockId> = ancestors
+            .iter()
+            .flat_map(|&a| self.tree.block(a).uncle_refs().iter().copied())
+            .collect();
+
+        let mut refs = Vec::new();
+        'outer: for &a in &ancestors[1..] {
+            if new_height - self.tree.height(a) > max_d + 1 {
+                break;
+            }
+            for &u in self.tree.children(a) {
+                let visible =
+                    self.pub_time[u.index()] <= horizon || self.tree.block(u).miner() == miner;
+                if on_chain.contains(&u) || referenced.contains(&u) || !visible {
+                    continue;
+                }
+                refs.push(u);
+                if refs.len() >= cap {
+                    break 'outer;
+                }
+            }
+        }
+        refs
+    }
+}
+
+impl DelayReport {
+    /// Rewards of miner `i`.
+    pub fn miner(&self, i: usize) -> MinerRewards {
+        self.report.miner(MinerId(i as u32))
+    }
+
+    /// Miner `i`'s share of all rewards paid.
+    pub fn revenue_share(&self, i: usize) -> f64 {
+        let total = self.report.total_reward();
+        if total > 0.0 {
+            self.miner(i).total() / total
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of miner `i`'s blocks that earned nothing (plain stale).
+    pub fn stale_fraction(&self, i: usize) -> f64 {
+        let m = self.miner(i);
+        let mined = m.regular_blocks + m.uncle_blocks + m.stale_blocks;
+        if mined == 0 {
+            return 0.0;
+        }
+        m.stale_blocks as f64 / mined as f64
+    }
+
+    /// Miner `i`'s *advantage*: revenue share divided by hash share; 1.0
+    /// is perfectly fair, above 1.0 means the miner profits from its size.
+    pub fn advantage(&self, i: usize) -> f64 {
+        self.revenue_share(i) / self.shares[i]
+    }
+
+    /// System-wide fraction of blocks that ended up off the main chain.
+    pub fn orphan_rate(&self) -> f64 {
+        let total = self.report.block_count().max(1) as f64;
+        (self.report.uncle_count + self.report.stale_count) as f64 / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(shares: Vec<f64>, delay: f64, schedule: RewardSchedule, seed: u64) -> DelayReport {
+        let config = DelayConfig::builder()
+            .shares(shares)
+            .delay(delay)
+            .blocks(40_000)
+            .seed(seed)
+            .schedule(schedule)
+            .build()
+            .unwrap();
+        DelaySimulation::new(config).run()
+    }
+
+    #[test]
+    fn zero_delay_means_no_forks() {
+        let r = run(vec![0.5, 0.3, 0.2], 0.0, RewardSchedule::ethereum(), 1);
+        assert_eq!(r.orphan_rate(), 0.0);
+        // Fair shares within sampling noise.
+        for i in 0..3 {
+            assert!(
+                (r.advantage(i) - 1.0).abs() < 0.05,
+                "miner {i}: {}",
+                r.advantage(i)
+            );
+        }
+    }
+
+    #[test]
+    fn delay_creates_orphans_at_ethereum_rates() {
+        // delay/interval ≈ 0.46: a sizeable natural fork rate, like early
+        // Ethereum's.
+        let r = run(vec![0.25; 4], 6.0, RewardSchedule::ethereum(), 2);
+        assert!(r.orphan_rate() > 0.05, "orphan rate {}", r.orphan_rate());
+        assert!(r.orphan_rate() < 0.5);
+        // Most orphans are referenced as uncles under unlimited refs.
+        assert!(r.report.uncle_count > r.report.stale_count);
+    }
+
+    #[test]
+    fn big_miners_orphan_less() {
+        let r = run(
+            vec![0.6, 0.1, 0.1, 0.1, 0.1],
+            6.0,
+            RewardSchedule::bitcoin(),
+            3,
+        );
+        let big = r.stale_fraction(0);
+        let small: f64 = (1..5).map(|i| r.stale_fraction(i)).sum::<f64>() / 4.0;
+        assert!(
+            big < small,
+            "big miner stale {big:.4} should undercut small miners' {small:.4}"
+        );
+    }
+
+    #[test]
+    fn uncle_rewards_compress_the_size_advantage() {
+        // The paper's Section VI premise: rewarding stale blocks reduces
+        // the big miner's edge. Same seed, same tree dynamics — only the
+        // reward schedule differs.
+        let shares = vec![0.6, 0.1, 0.1, 0.1, 0.1];
+        let btc = run(shares.clone(), 6.0, RewardSchedule::bitcoin(), 4);
+        let eth = run(shares, 6.0, RewardSchedule::ethereum(), 4);
+        let adv_btc = btc.advantage(0);
+        let adv_eth = eth.advantage(0);
+        assert!(adv_btc > 1.0, "without uncle rewards size pays: {adv_btc}");
+        assert!(
+            adv_eth < adv_btc,
+            "uncle rewards must shrink the advantage: {adv_eth} vs {adv_btc}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = run(vec![0.5, 0.5], 4.0, RewardSchedule::ethereum(), 9);
+        let b = run(vec![0.5, 0.5], 4.0, RewardSchedule::ethereum(), 9);
+        assert_eq!(a.report.total_reward(), b.report.total_reward());
+    }
+
+    #[test]
+    fn builder_validation() {
+        assert!(matches!(
+            DelayConfig::builder().shares(vec![1.0]).build(),
+            Err(SimError::NoHonestMiners)
+        ));
+        assert!(DelayConfig::builder()
+            .shares(vec![2.0, 6.0])
+            .build()
+            .is_ok());
+        assert!(DelayConfig::builder().delay(-1.0).build().is_err());
+        assert!(DelayConfig::builder().blocks(0).build().is_err());
+    }
+}

@@ -1,0 +1,571 @@
+//! The discrete-event simulation engine.
+//!
+//! Mining is simulated at block granularity: since broadcast is
+//! instantaneous in the paper's network model (Section IV-A), the system
+//! state only changes when a block is found, and the finder is the pool
+//! with probability `α` or a uniformly random honest miner otherwise. The
+//! selfish pool runs Algorithm 1 verbatim; honest miners follow the
+//! protocol, breaking ties toward the pool's published branch with
+//! probability `γ`.
+//!
+//! Unlike the analytical model, blocks here are real: the engine maintains
+//! a [`BlockTree`], publication status, and per-block uncle references
+//! created under Ethereum's validity rules at mining time.
+
+use std::collections::{HashMap, HashSet};
+
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+use seleth_chain::{BlockId, BlockTree, MinerId};
+
+use crate::config::{PoolStrategy, SimConfig};
+use crate::stats::SimReport;
+
+/// The miner id used for the selfish pool.
+pub const POOL: MinerId = MinerId(0);
+
+/// A running simulation. Construct with [`Simulation::new`], drive with
+/// [`Simulation::run`] (or [`Simulation::step`] for fine-grained control).
+#[derive(Debug)]
+pub struct Simulation {
+    config: SimConfig,
+    rng: ChaCha12Rng,
+    tree: BlockTree,
+    published: Vec<bool>,
+    // --- epoch state (everything above the last consensus block) ---
+    /// Last consensus block; both branches fork from here.
+    fork_base: BlockId,
+    /// The pool's private chain above `fork_base`, oldest first.
+    private: Vec<BlockId>,
+    /// How many of `private` have been published.
+    published_count: usize,
+    /// The honest public branch above `fork_base`, oldest first.
+    honest_branch: Vec<BlockId>,
+    // --- statistics ---
+    blocks_mined: u64,
+    state_visits: HashMap<(u32, u32), u64>,
+}
+
+impl Simulation {
+    /// Set up a simulation for `config`.
+    pub fn new(config: SimConfig) -> Self {
+        let tree = BlockTree::new();
+        let rng = ChaCha12Rng::seed_from_u64(config.seed());
+        let fork_base = tree.genesis();
+        Simulation {
+            config,
+            rng,
+            tree,
+            published: vec![true], // genesis
+            fork_base,
+            private: Vec::new(),
+            published_count: 0,
+            honest_branch: Vec::new(),
+            blocks_mined: 0,
+            state_visits: HashMap::new(),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The current `(Ls, Lh)` state, for inspection and testing.
+    pub fn state(&self) -> (u32, u32) {
+        (self.private.len() as u32, self.honest_branch.len() as u32)
+    }
+
+    /// Borrow the block tree built so far.
+    pub fn tree(&self) -> &BlockTree {
+        &self.tree
+    }
+
+    /// `true` if the block has been broadcast to the network.
+    pub fn is_published(&self, id: BlockId) -> bool {
+        self.published[id.index()]
+    }
+
+    /// Run to the configured block budget and produce the report.
+    pub fn run(mut self) -> SimReport {
+        while self.blocks_mined < self.config.blocks() {
+            self.step();
+        }
+        self.finalize()
+    }
+
+    /// Mine exactly one block (pool with probability `α`, honest
+    /// otherwise) and apply the strategy updates.
+    pub fn step(&mut self) {
+        let pool_wins = self.rng.gen_bool(self.config.alpha());
+        match (pool_wins, self.config.strategy()) {
+            (true, PoolStrategy::Honest) => self.honest_mines(POOL),
+            (true, PoolStrategy::Selfish | PoolStrategy::LeadStubborn) => self.pool_mines(),
+            (false, _) => {
+                let id = MinerId(self.rng.gen_range(1..=self.config.n_honest()));
+                self.honest_mines(id);
+            }
+        }
+        self.blocks_mined += 1;
+        let s = self.state();
+        *self.state_visits.entry(s).or_insert(0) += 1;
+    }
+
+    /// Finish: publish any remaining private blocks (what the pool would do
+    /// when it stops attacking) and account the tree.
+    pub fn finalize(mut self) -> SimReport {
+        self.publish_all_private();
+        SimReport::from_simulation(
+            &self.config,
+            &self.tree,
+            self.blocks_mined,
+            self.state_visits,
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Pool behaviour (Algorithm 1, "the selfish pool mines a new block")
+    // ------------------------------------------------------------------
+
+    fn pool_mines(&mut self) {
+        let parent = self.private.last().copied().unwrap_or(self.fork_base);
+        let block = self.mint(parent, POOL);
+        self.private.push(block);
+        // Lines 3-5 of Algorithm 1: with (Ls, Lh) = (2, 1) the advantage is
+        // too slim; publish and settle. This state is reachable only from
+        // (1, 1). A Lead-Stubborn pool skips this concession and keeps the
+        // new block private.
+        if self.config.strategy() == PoolStrategy::Selfish
+            && self.private.len() == 2
+            && self.honest_branch.len() == 1
+        {
+            let tip = *self.private.last().expect("just pushed");
+            self.publish_all_private();
+            self.reset_epoch(tip);
+        }
+        // Otherwise: keep mining privately (lines 6-7).
+    }
+
+    // ------------------------------------------------------------------
+    // Honest behaviour (protocol + Algorithm 1's reactions)
+    // ------------------------------------------------------------------
+
+    fn honest_mines(&mut self, miner: MinerId) {
+        let ls = self.private.len();
+        let lh = self.honest_branch.len();
+        debug_assert!(
+            lh == 0 || self.published_count == lh,
+            "public branches must have equal length (published {} vs honest {lh})",
+            self.published_count
+        );
+
+        // Parent selection: the longest public tip; on ties, the pool's
+        // published branch with probability γ (the network model).
+        let prefix_tip = (self.published_count > 0).then(|| self.private[self.published_count - 1]);
+        let parent = match (prefix_tip, self.honest_branch.last()) {
+            (Some(p), Some(&h)) => {
+                if self.rng.gen_bool(self.config.gamma()) {
+                    p
+                } else {
+                    h
+                }
+            }
+            (None, Some(&h)) => h,
+            (None, None) => self.fork_base,
+            (Some(_), None) => unreachable!("pool publishes only in response to honest blocks"),
+        };
+        let on_prefix = Some(parent) == prefix_tip;
+
+        let block = self.mint(parent, miner);
+        self.publish(block);
+
+        // Algorithm 1, lines 8-20, with Lh already incremented. The
+        // Lead-Stubborn variant differs in exactly one place: it never
+        // concedes a near-win by publishing the whole branch (lines 15-17);
+        // it always reveals just enough to match the public chain.
+        let stubborn = self.config.strategy() == PoolStrategy::LeadStubborn;
+        let lh_inc = lh + 1;
+        if ls < lh_inc {
+            // Lines 10-12: the public chain is longer; everyone adopts it.
+            // A stubborn pool may be abandoning withheld blocks here; under
+            // Algorithm 1 there is never anything unpublished to discard.
+            debug_assert!(
+                stubborn || self.private.len() == self.published_count,
+                "Algorithm 1 never abandons unpublished blocks"
+            );
+            self.reset_epoch(block);
+        } else if ls == lh_inc + 1 && !stubborn {
+            // Lines 15-17: lead of one left; publish everything and win.
+            let tip = *self.private.last().expect("lead is positive");
+            self.publish_all_private();
+            self.reset_epoch(tip);
+        } else {
+            // Lines 13-14 (ls == lh_inc: reveal the last block, branches
+            // tie) and lines 18-20 (comfortable lead: reveal the first
+            // unpublished block) share the same mechanics: publish exactly
+            // one more block. For the stubborn pool this branch also
+            // handles ls == lh_inc + 1.
+            self.published_count += 1;
+            self.publish(self.private[self.published_count - 1]);
+            if on_prefix {
+                // The fork point moves up to the honest block's parent:
+                // state (Ls − Lh + 1, 1) after the line-9 increment.
+                let cut = lh; // blocks at or below the new fork base
+                self.fork_base = parent;
+                self.private.drain(..cut);
+                self.published_count = 1;
+                self.honest_branch.clear();
+            }
+            self.honest_branch.push(block);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Plumbing
+    // ------------------------------------------------------------------
+
+    /// Create a block on `parent` with protocol-valid uncle references.
+    fn mint(&mut self, parent: BlockId, miner: MinerId) -> BlockId {
+        let refs = self.collect_uncle_refs(parent);
+        let id = self
+            .tree
+            .add_block(parent, miner, &refs)
+            .expect("engine only uses ids it created");
+        self.published.push(false);
+        id
+    }
+
+    fn publish(&mut self, id: BlockId) {
+        self.published[id.index()] = true;
+    }
+
+    fn publish_all_private(&mut self) {
+        for i in self.published_count..self.private.len() {
+            self.published[self.private[i].index()] = true;
+        }
+        self.published_count = self.private.len();
+    }
+
+    fn reset_epoch(&mut self, consensus_tip: BlockId) {
+        self.fork_base = consensus_tip;
+        self.private.clear();
+        self.published_count = 0;
+        self.honest_branch.clear();
+    }
+
+    /// Ethereum's uncle-reference rule, applied at mining time: reference
+    /// every known (published) block `U` such that `U`'s parent is an
+    /// ancestor of the new block within the maximum distance, `U` is not
+    /// itself an ancestor, and no ancestor in the reference window already
+    /// references `U` — up to the schedule's per-block cap.
+    ///
+    /// Miners never need to distinguish pool from honest visibility here:
+    /// unpublished pool blocks are always ancestors of the pool's own next
+    /// block, and ancestors are excluded anyway.
+    fn collect_uncle_refs(&mut self, parent: BlockId) -> Vec<BlockId> {
+        let schedule = self.config.schedule();
+        let max_d = schedule.max_uncle_distance();
+        if max_d == 0 {
+            return Vec::new();
+        }
+        let cap = schedule.max_uncles_per_block().unwrap_or(usize::MAX);
+        if cap == 0 {
+            return Vec::new();
+        }
+        let new_height = self.tree.height(parent) + 1;
+
+        // Ancestors of the new block within the window, newest first.
+        let mut ancestors = Vec::with_capacity(max_d as usize + 1);
+        let mut cur = parent;
+        for _ in 0..=max_d {
+            ancestors.push(cur);
+            match self.tree.block(cur).parent() {
+                Some(p) => cur = p,
+                None => break,
+            }
+        }
+        let on_chain: HashSet<BlockId> = ancestors.iter().copied().collect();
+        let referenced: HashSet<BlockId> = ancestors
+            .iter()
+            .flat_map(|&a| self.tree.block(a).uncle_refs().iter().copied())
+            .collect();
+
+        let mut refs = Vec::new();
+        // Uncle parents sit at heights [new_height − 1 − max_d, new_height − 2].
+        'outer: for &a in &ancestors[1..] {
+            if new_height - self.tree.height(a) > max_d + 1 {
+                break;
+            }
+            for &u in self.tree.children(a) {
+                if on_chain.contains(&u) || referenced.contains(&u) || !self.published[u.index()] {
+                    continue;
+                }
+                refs.push(u);
+                if refs.len() >= cap {
+                    break 'outer;
+                }
+            }
+        }
+        refs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seleth_chain::RewardSchedule;
+
+    fn sim(alpha: f64, gamma: f64, seed: u64) -> Simulation {
+        let config = SimConfig::builder()
+            .alpha(alpha)
+            .gamma(gamma)
+            .n_honest(99)
+            .blocks(u64::MAX) // stepped manually
+            .seed(seed)
+            .build()
+            .unwrap();
+        Simulation::new(config)
+    }
+
+    /// Drive the simulation with a scripted winner sequence by re-seeding
+    /// is impractical; instead we call the private handlers directly.
+    impl Simulation {
+        fn force_pool(&mut self) {
+            self.pool_mines();
+            self.blocks_mined += 1;
+        }
+        fn force_honest(&mut self) {
+            self.honest_mines(MinerId(1));
+            self.blocks_mined += 1;
+        }
+    }
+
+    #[test]
+    fn honest_only_chain_is_linear() {
+        let mut s = sim(0.3, 0.5, 1);
+        for _ in 0..10 {
+            s.force_honest();
+        }
+        assert_eq!(s.state(), (0, 0));
+        assert_eq!(s.tree().max_height(), 10);
+        assert_eq!(s.tree().leaves().len(), 1);
+    }
+
+    #[test]
+    fn pool_withholds_until_threat() {
+        let mut s = sim(0.3, 0.5, 1);
+        s.force_pool();
+        assert_eq!(s.state(), (1, 0));
+        s.force_pool();
+        assert_eq!(s.state(), (2, 0));
+        // The two private blocks are not published.
+        let unpublished: Vec<_> = s
+            .tree()
+            .iter()
+            .filter(|b| !b.is_genesis() && !s.is_published(b.id()))
+            .collect();
+        assert_eq!(unpublished.len(), 2);
+    }
+
+    #[test]
+    fn lead_two_resolves_on_honest_block() {
+        // (2,0) + honest block → pool publishes everything (Case 9).
+        let mut s = sim(0.3, 0.5, 1);
+        s.force_pool();
+        s.force_pool();
+        s.force_honest();
+        assert_eq!(s.state(), (0, 0));
+        // All blocks published; pool branch is the main chain.
+        assert!(s.tree().iter().all(|b| s.is_published(b.id())));
+        assert_eq!(s.tree().max_height(), 2);
+    }
+
+    #[test]
+    fn tie_race_from_one_block_lead() {
+        // (1,0) + honest → (1,1): both length-1 branches public.
+        let mut s = sim(0.3, 0.5, 1);
+        s.force_pool();
+        s.force_honest();
+        assert_eq!(s.state(), (1, 1));
+        assert!(s.tree().iter().all(|b| s.is_published(b.id())));
+        // Pool mines again: (2,1) → immediate full publication & reset.
+        s.force_pool();
+        assert_eq!(s.state(), (0, 0));
+    }
+
+    #[test]
+    fn honest_resolution_of_tie_adopts() {
+        let mut s = sim(0.3, 0.5, 1);
+        s.force_pool();
+        s.force_honest(); // (1,1)
+        s.force_honest(); // race resolved by honest block
+        assert_eq!(s.state(), (0, 0));
+        assert_eq!(s.tree().max_height(), 2);
+    }
+
+    #[test]
+    fn long_lead_publishes_one_by_one() {
+        let mut s = sim(0.3, 0.5, 1);
+        for _ in 0..5 {
+            s.force_pool();
+        }
+        assert_eq!(s.state(), (5, 0));
+        s.force_honest();
+        assert_eq!(s.state(), (5, 1));
+        assert_eq!(s.published_count, 1, "exactly one private block published");
+        s.force_honest(); // γ decides prefix vs honest branch
+        let (ls, lh) = s.state();
+        assert!(
+            (ls == 5 && lh == 2) || (ls == 4 && lh == 1),
+            "case 7 or case 11, got ({ls},{lh})"
+        );
+    }
+
+    #[test]
+    fn uncle_references_created() {
+        // Pool wins a 2-lead race; the honest loser is referenced by the
+        // next block.
+        let mut s = sim(0.3, 0.5, 1);
+        s.force_pool();
+        s.force_pool();
+        s.force_honest(); // honest block orphaned at height 1
+        s.force_honest(); // next honest block should reference it
+        let with_refs: Vec<_> = s
+            .tree()
+            .iter()
+            .filter(|b| !b.uncle_refs().is_empty())
+            .collect();
+        assert!(!with_refs.is_empty(), "the orphan must be referenced");
+    }
+
+    #[test]
+    fn no_references_under_bitcoin_schedule() {
+        let config = SimConfig::builder()
+            .alpha(0.35)
+            .schedule(RewardSchedule::bitcoin())
+            .blocks(3_000)
+            .seed(3)
+            .build()
+            .unwrap();
+        let sim = Simulation::new(config);
+        let report = sim.run();
+        assert_eq!(report.reward_report.uncle_count, 0);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let run = |seed| {
+            let config = SimConfig::builder()
+                .alpha(0.3)
+                .blocks(2_000)
+                .seed(seed)
+                .build()
+                .unwrap();
+            let r = Simulation::new(config).run();
+            (
+                r.reward_report.regular_count,
+                r.reward_report.uncle_count,
+                r.pool.total(),
+            )
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn honest_pool_strategy_creates_no_forks() {
+        let config = SimConfig::builder()
+            .alpha(0.4)
+            .strategy(PoolStrategy::Honest)
+            .blocks(5_000)
+            .seed(17)
+            .build()
+            .unwrap();
+        let report = Simulation::new(config).run();
+        assert_eq!(report.reward_report.regular_count, 5_000);
+        assert_eq!(report.reward_report.uncle_count, 0);
+        assert_eq!(report.reward_report.stale_count, 0);
+        // Fair share: binomial(5000, 0.4)/5000 stays within ~4σ of 0.4.
+        let share = report.relative_pool_share();
+        assert!((share - 0.4).abs() < 0.03, "honest pool share {share}");
+    }
+
+    #[test]
+    fn stubborn_pool_skips_the_two_one_concession() {
+        let mut s = sim(0.3, 0.5, 1);
+        s.config = SimConfig::builder()
+            .alpha(0.3)
+            .gamma(0.5)
+            .n_honest(99)
+            .blocks(u64::MAX)
+            .strategy(PoolStrategy::LeadStubborn)
+            .seed(1)
+            .build()
+            .unwrap();
+        s.force_pool();
+        s.force_honest(); // (1,1)
+        s.force_pool(); // selfish would publish-and-reset; stubborn holds
+        assert_eq!(s.state(), (2, 1));
+    }
+
+    #[test]
+    fn stubborn_never_concedes_at_lead_one() {
+        let config = SimConfig::builder()
+            .alpha(0.3)
+            .gamma(0.5)
+            .n_honest(99)
+            .blocks(u64::MAX)
+            .strategy(PoolStrategy::LeadStubborn)
+            .seed(1)
+            .build()
+            .unwrap();
+        let mut s = Simulation::new(config);
+        s.force_pool();
+        s.force_pool(); // (2,0)
+        s.force_honest(); // selfish: publish all, reset; stubborn: match one
+        assert_eq!(s.state(), (2, 1));
+        s.force_honest(); // match again → full tie (2,2)
+        let (ls, lh) = s.state();
+        assert!(
+            (ls == 2 && lh == 2) || (ls == 1 && lh == 1),
+            "tie or rebased tie, got ({ls},{lh})"
+        );
+    }
+
+    #[test]
+    fn stubborn_runs_account_consistently() {
+        let config = SimConfig::builder()
+            .alpha(0.4)
+            .gamma(0.5)
+            .strategy(PoolStrategy::LeadStubborn)
+            .blocks(20_000)
+            .n_honest(100)
+            .seed(3)
+            .build()
+            .unwrap();
+        let report = Simulation::new(config).run();
+        assert_eq!(report.reward_report.block_count(), 20_000);
+        let (reg, unc, stale) = report.block_type_fractions();
+        assert!((reg + unc + stale - 1.0).abs() < 1e-12);
+        assert!(unc > 0.0, "stubborn racing should orphan blocks");
+    }
+
+    #[test]
+    fn alpha_zero_never_mines_pool_blocks() {
+        let config = SimConfig::builder()
+            .alpha(0.0)
+            .blocks(1_000)
+            .seed(9)
+            .build()
+            .unwrap();
+        let report = Simulation::new(config).run();
+        assert_eq!(report.pool.total(), 0.0);
+        assert_eq!(report.reward_report.regular_count, 1_000);
+        assert_eq!(
+            report.reward_report.stale_count + report.reward_report.uncle_count,
+            0
+        );
+    }
+}

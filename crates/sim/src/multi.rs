@@ -1,0 +1,181 @@
+//! Multi-run orchestration: the paper averages 10 independent runs of
+//! 100,000 blocks each (Section V); this module runs seeds in parallel and
+//! aggregates the reports.
+
+use crossbeam::thread;
+
+use seleth_chain::Scenario;
+
+use crate::config::SimConfig;
+use crate::engine::Simulation;
+use crate::stats::SimReport;
+
+/// Run `runs` independent simulations (seeds `base_seed..base_seed+runs`)
+/// in parallel and collect the reports in seed order.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics (a bug in the simulator, not a
+/// recoverable condition).
+pub fn run_many(config: &SimConfig, runs: u64) -> Vec<SimReport> {
+    let base = config.seed();
+    let threads = std::thread::available_parallelism()
+        .map_or(4, |n| n.get())
+        .min(runs as usize);
+    if runs <= 1 || threads <= 1 {
+        return (0..runs)
+            .map(|k| Simulation::new(config.with_seed(base + k)).run())
+            .collect();
+    }
+    let mut reports: Vec<Option<SimReport>> = (0..runs).map(|_| None).collect();
+    thread::scope(|scope| {
+        for (chunk_idx, chunk) in reports
+            .chunks_mut(runs.div_ceil(threads as u64) as usize)
+            .enumerate()
+        {
+            let config = config.clone();
+            let chunk_len = chunk.len();
+            let start = chunk_idx * chunk_len;
+            scope.spawn(move |_| {
+                for (i, slot) in chunk.iter_mut().enumerate() {
+                    let seed = base + (start + i) as u64;
+                    *slot = Some(Simulation::new(config.with_seed(seed)).run());
+                }
+            });
+        }
+    })
+    .expect("simulation worker panicked");
+    reports
+        .into_iter()
+        .map(|r| r.expect("all slots filled"))
+        .collect()
+}
+
+/// Mean and sample standard deviation of a metric over several runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (0 for a single run).
+    pub std_dev: f64,
+}
+
+/// Summarize an arbitrary per-run metric.
+pub fn summarize<F: FnMut(&SimReport) -> f64>(reports: &[SimReport], mut metric: F) -> Summary {
+    let n = reports.len();
+    if n == 0 {
+        return Summary {
+            mean: 0.0,
+            std_dev: 0.0,
+        };
+    }
+    let values: Vec<f64> = reports.iter().map(&mut metric).collect();
+    let mean = values.iter().sum::<f64>() / n as f64;
+    let var = if n > 1 {
+        values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+    } else {
+        0.0
+    };
+    Summary {
+        mean,
+        std_dev: var.sqrt(),
+    }
+}
+
+/// Mean pool absolute revenue `U_s` across runs.
+pub fn mean_absolute_pool(reports: &[SimReport], scenario: Scenario) -> Summary {
+    summarize(reports, |r| r.absolute_pool(scenario))
+}
+
+/// Mean honest absolute revenue `U_h` across runs.
+pub fn mean_absolute_honest(reports: &[SimReport], scenario: Scenario) -> Summary {
+    summarize(reports, |r| r.absolute_honest(scenario))
+}
+
+/// Element-wise mean of the honest uncle-distance distributions.
+pub fn mean_honest_distance_distribution(reports: &[SimReport]) -> Vec<f64> {
+    if reports.is_empty() {
+        return Vec::new();
+    }
+    let len = reports
+        .iter()
+        .map(|r| r.honest_uncle_histogram.len())
+        .max()
+        .unwrap_or(0);
+    let mut acc = vec![0.0; len];
+    for r in reports {
+        let pmf = r.honest_distance_distribution();
+        for (a, p) in acc.iter_mut().zip(pmf.iter()) {
+            *a += p;
+        }
+    }
+    for a in &mut acc {
+        *a /= reports.len() as f64;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(blocks: u64) -> SimConfig {
+        SimConfig::builder()
+            .alpha(0.3)
+            .gamma(0.5)
+            .blocks(blocks)
+            .n_honest(50)
+            .seed(100)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let c = config(3_000);
+        let seq: Vec<SimReport> = (0..4)
+            .map(|k| Simulation::new(c.with_seed(100 + k)).run())
+            .collect();
+        let par = run_many(&c, 4);
+        for (s, p) in seq.iter().zip(par.iter()) {
+            assert_eq!(s.pool.total(), p.pool.total());
+            assert_eq!(s.reward_report.regular_count, p.reward_report.regular_count);
+        }
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let c = config(2_000);
+        let reports = run_many(&c, 3);
+        let s = mean_absolute_pool(&reports, Scenario::RegularRate);
+        assert!(s.mean > 0.0);
+        assert!(s.std_dev >= 0.0);
+        // Distinct seeds → some variation.
+        assert!(s.std_dev > 0.0);
+    }
+
+    #[test]
+    fn empty_and_single_run_summaries() {
+        assert_eq!(
+            summarize(&[], |_| 1.0),
+            Summary {
+                mean: 0.0,
+                std_dev: 0.0
+            }
+        );
+        let c = config(1_000);
+        let reports = run_many(&c, 1);
+        let s = summarize(&reports, |r| r.alpha);
+        assert_eq!(s.mean, 0.3);
+        assert_eq!(s.std_dev, 0.0);
+    }
+
+    #[test]
+    fn mean_distance_distribution_normalized() {
+        let c = config(5_000);
+        let reports = run_many(&c, 2);
+        let pmf = mean_honest_distance_distribution(&reports);
+        let total: f64 = pmf.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "mean pmf sums to {total}");
+    }
+}

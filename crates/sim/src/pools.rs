@@ -1,0 +1,104 @@
+//! Ethereum mining-pool hash-power shares (Fig. 6 of the paper,
+//! etherscan.io snapshot from September 2018).
+//!
+//! The paper motivates the study with the observation that real Ethereum
+//! pools are large enough to cross the profitability thresholds derived in
+//! Section IV — the top pool alone held more than 26% of total hash power.
+//! The original web endpoint is gone; the values are embedded from the
+//! paper itself (our DESIGN.md records this substitution).
+
+/// Hash-power share of one mining pool.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoolShare {
+    /// Pool name as reported by etherscan.
+    pub name: &'static str,
+    /// Fraction of total network hash power, in `[0, 1]`.
+    pub share: f64,
+}
+
+/// The Fig. 6 dataset: top-5 Ethereum pools plus the aggregated remainder
+/// (2018-09).
+pub const TOP_POOLS_2018: &[PoolShare] = &[
+    PoolShare {
+        name: "Ethermine",
+        share: 0.2634,
+    },
+    PoolShare {
+        name: "SparkPool",
+        share: 0.2246,
+    },
+    PoolShare {
+        name: "F2Pool",
+        share: 0.1337,
+    },
+    PoolShare {
+        name: "Nanopool",
+        share: 0.1033,
+    },
+    PoolShare {
+        name: "MiningPoolHub",
+        share: 0.0878,
+    },
+    PoolShare {
+        name: "Others",
+        share: 0.1872,
+    },
+];
+
+/// Combined hash power of the top `n` named pools (excludes "Others").
+///
+/// The paper highlights: top-2 ≈ 48.8%, top-5 > 81%.
+///
+/// ```
+/// use seleth_sim::pools::combined_top_share;
+/// assert!((combined_top_share(2) - 0.488).abs() < 1e-9);
+/// assert!(combined_top_share(5) > 0.81);
+/// ```
+pub fn combined_top_share(n: usize) -> f64 {
+    TOP_POOLS_2018
+        .iter()
+        .filter(|p| p.name != "Others")
+        .take(n)
+        .map(|p| p.share)
+        .sum()
+}
+
+/// Herfindahl–Hirschman concentration index of the pool distribution
+/// (treating "Others" as a single participant — an upper bound on
+/// decentralization, lower bound on concentration).
+pub fn concentration_index() -> f64 {
+    TOP_POOLS_2018.iter().map(|p| p.share * p.share).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_sum_to_one() {
+        let total: f64 = TOP_POOLS_2018.iter().map(|p| p.share).sum();
+        assert!((total - 1.0).abs() < 1e-9, "shares sum to {total}");
+    }
+
+    #[test]
+    fn paper_headline_numbers() {
+        assert!((TOP_POOLS_2018[0].share - 0.2634).abs() < 1e-12);
+        assert!((combined_top_share(2) - 0.488).abs() < 1e-6);
+        assert!(combined_top_share(5) > 0.81);
+    }
+
+    #[test]
+    fn every_named_pool_crosses_the_gamma_half_threshold() {
+        // Section VI: the scenario-1 threshold at γ = 0.5 under Ku(·) is
+        // α* ≈ 0.054 — every top-5 pool exceeds it.
+        for p in TOP_POOLS_2018.iter().filter(|p| p.name != "Others") {
+            assert!(p.share > 0.054, "{} at {}", p.name, p.share);
+        }
+    }
+
+    #[test]
+    fn concentration_is_meaningful() {
+        let hhi = concentration_index();
+        assert!(hhi > 0.15 && hhi < 0.25, "hhi = {hhi}");
+    }
+}

@@ -1,0 +1,165 @@
+//! Property-based tests of the simulator across random configurations and
+//! all three pool strategies: structural invariants that must hold for
+//! every seed.
+
+use proptest::prelude::*;
+
+use seleth_chain::forkchoice::{self, TieBreak};
+use seleth_chain::{RewardSchedule, Scenario};
+use seleth_sim::{PoolStrategy, SimConfig, Simulation};
+
+fn strategy_strategy() -> impl Strategy<Value = PoolStrategy> {
+    prop_oneof![
+        Just(PoolStrategy::Selfish),
+        Just(PoolStrategy::Honest),
+        Just(PoolStrategy::LeadStubborn),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every run produces a consistent tree and accounting, whatever the
+    /// strategy and parameters.
+    #[test]
+    fn runs_are_internally_consistent(
+        alpha in 0.0f64..0.6,
+        gamma in 0.0f64..=1.0,
+        strategy in strategy_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let config = SimConfig::builder()
+            .alpha(alpha)
+            .gamma(gamma)
+            .strategy(strategy)
+            .blocks(1_500)
+            .n_honest(15)
+            .seed(seed)
+            .build()
+            .expect("valid config");
+        let report = Simulation::new(config).run();
+
+        // Counts partition the mined blocks.
+        prop_assert_eq!(report.reward_report.block_count(), 1_500);
+        let (reg, unc, stale) = report.block_type_fractions();
+        prop_assert!((reg + unc + stale - 1.0).abs() < 1e-12);
+
+        // Static rewards equal regular count (Ks = 1).
+        let static_total = report.pool.static_reward + report.honest.static_reward;
+        prop_assert!((static_total - report.reward_report.regular_count as f64).abs() < 1e-9);
+
+        // Revenue shares are sane.
+        let share = report.relative_pool_share();
+        prop_assert!((0.0..=1.0).contains(&share));
+        prop_assert!(report.absolute_pool(Scenario::RegularRate) >= 0.0);
+        // Scenario 1: every regular block pays Ks = 1 and uncles only add,
+        // so system-wide absolute revenue is at least 1.
+        prop_assert!(report.absolute_total(Scenario::RegularRate) >= 1.0 - 1e-9);
+        // Scenario 2 divides by regular + uncle blocks, so the floor is
+        // the regular fraction of the divisor.
+        let floor = reg / (reg + unc).max(1e-12);
+        prop_assert!(report.absolute_total(Scenario::RegularPlusUncleRate) >= floor - 1e-9);
+    }
+
+    /// The state machine invariant: after every step, the published prefix
+    /// of the private chain equals the honest branch length (Algorithm 1's
+    /// equal-length public branches property), checked via the tree.
+    #[test]
+    fn public_branches_stay_balanced(seed in any::<u64>(), alpha in 0.05f64..0.5) {
+        let config = SimConfig::builder()
+            .alpha(alpha)
+            .gamma(0.5)
+            .blocks(400)
+            .n_honest(8)
+            .seed(seed)
+            .build()
+            .expect("valid config");
+        let mut sim = Simulation::new(config);
+        for _ in 0..400 {
+            sim.step();
+            let (ls, lh) = sim.state();
+            // Valid Algorithm-1 states only.
+            prop_assert!(
+                (ls == 0 && lh == 0) || (ls == 1 && lh <= 1) || ls >= lh + 2,
+                "invalid state ({ls},{lh})"
+            );
+        }
+    }
+
+    /// Honest-pool runs never fork, for any parameters.
+    #[test]
+    fn honest_pool_never_forks(seed in any::<u64>(), alpha in 0.0f64..0.9) {
+        let config = SimConfig::builder()
+            .alpha(alpha)
+            .strategy(PoolStrategy::Honest)
+            .blocks(300)
+            .n_honest(5)
+            .seed(seed)
+            .build()
+            .expect("valid config");
+        let report = Simulation::new(config).run();
+        prop_assert_eq!(report.reward_report.regular_count, 300);
+        prop_assert_eq!(report.reward_report.uncle_count, 0);
+        prop_assert_eq!(report.reward_report.stale_count, 0);
+    }
+
+    /// The final main chain height equals the regular block count
+    /// (genesis at height 0), under every strategy.
+    #[test]
+    fn main_chain_height_matches_regular_count(
+        strategy in strategy_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let config = SimConfig::builder()
+            .alpha(0.4)
+            .gamma(0.5)
+            .strategy(strategy)
+            .blocks(600)
+            .n_honest(6)
+            .seed(seed)
+            .build()
+            .expect("valid config");
+        let mut sim = Simulation::new(config);
+        for _ in 0..600 {
+            sim.step();
+        }
+        // Snapshot the tree before finalization; compare against the
+        // report afterwards.
+        let report = sim.finalize();
+        prop_assert_eq!(
+            report.reward_report.regular_count,
+            // Height of the longest chain == number of regular blocks.
+            report.pool.regular_blocks + report.honest.regular_blocks
+        );
+    }
+
+    /// Bitcoin-schedule runs never reference or reward uncles, under every
+    /// strategy.
+    #[test]
+    fn bitcoin_runs_have_no_uncles(
+        strategy in strategy_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let config = SimConfig::builder()
+            .alpha(0.35)
+            .schedule(RewardSchedule::bitcoin())
+            .strategy(strategy)
+            .blocks(500)
+            .n_honest(5)
+            .seed(seed)
+            .build()
+            .expect("valid config");
+        let mut sim = Simulation::new(config);
+        for _ in 0..500 {
+            sim.step();
+        }
+        for block in sim.tree().iter() {
+            prop_assert!(block.uncle_refs().is_empty());
+        }
+        let chain = forkchoice::longest_chain(sim.tree(), TieBreak::FirstSeen);
+        prop_assert!(!chain.is_empty());
+        let report = sim.finalize();
+        prop_assert_eq!(report.reward_report.uncle_count, 0);
+        prop_assert_eq!(report.pool.uncle_reward + report.honest.uncle_reward, 0.0);
+    }
+}

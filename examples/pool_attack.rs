@@ -1,0 +1,78 @@
+//! What if a real Ethereum mining pool turned selfish?
+//!
+//! Takes the paper's Fig. 6 snapshot of actual 2018 pool hash power and
+//! asks, for each pool: if it ran Algorithm 1 while everyone else stayed
+//! honest, how much extra revenue would it capture, and how much would the
+//! rest of the network lose? This is the scenario motivating Section III-D
+//! of the paper.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example pool_attack
+//! ```
+
+use selfish_ethereum::prelude::*;
+use selfish_ethereum::sim::pools::TOP_POOLS_2018;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let gamma = 0.5;
+    let scenario = Scenario::RegularRate;
+    println!("If a 2018 Ethereum pool went selfish (γ = {gamma}, pre-EIP100 difficulty):\n");
+    println!(
+        "{:<14} {:>7} {:>10} {:>10} {:>9} {:>12}",
+        "pool", "α", "honest", "selfish", "gain", "others lose"
+    );
+
+    for pool in TOP_POOLS_2018.iter().filter(|p| p.name != "Others") {
+        let alpha = pool.share;
+        let params = ModelParams::new(alpha, gamma, RewardSchedule::ethereum())?;
+        let revenue = Analysis::new(&params)?.revenue();
+        let us = revenue.absolute_pool(scenario);
+        let uh = revenue.absolute_honest(scenario);
+        let honest_baseline = alpha;
+        let gain = (us / honest_baseline - 1.0) * 100.0;
+        let others_loss = (1.0 - alpha - uh) / (1.0 - alpha) * 100.0;
+        println!(
+            "{:<14} {:>7.4} {:>10.4} {:>10.4} {:>8.1}% {:>11.1}%",
+            pool.name, alpha, honest_baseline, us, gain, others_loss
+        );
+    }
+
+    // The biggest pool, validated by simulation with per-miner accounting:
+    // 1000 total miners, Ethermine's share of them selfish.
+    let ethermine = TOP_POOLS_2018[0];
+    println!(
+        "\nSimulating {} (α = {}) over 10 × 100k blocks...",
+        ethermine.name, ethermine.share
+    );
+    let config = SimConfig::builder()
+        .alpha(ethermine.share)
+        .gamma(gamma)
+        .n_honest(999)
+        .blocks(100_000)
+        .seed(1234)
+        .build()?;
+    let reports = multi::run_many(&config, 10);
+    let us = multi::mean_absolute_pool(&reports, scenario);
+    let uh = multi::mean_absolute_honest(&reports, scenario);
+    println!("  measured Us = {:.4} ± {:.4}", us.mean, us.std_dev);
+    println!("  measured Uh = {:.4} ± {:.4}", uh.mean, uh.std_dev);
+
+    let sample = &reports[0];
+    let (reg, unc, stale) = sample.block_type_fractions();
+    println!(
+        "  block mix: {:.1}% regular, {:.1}% uncle, {:.1}% stale",
+        reg * 100.0,
+        unc * 100.0,
+        stale * 100.0
+    );
+    println!(
+        "  pool blocks: {} regular, {} uncle, {} stale",
+        sample.pool.regular_blocks, sample.pool.uncle_blocks, sample.pool.stale_blocks
+    );
+    println!(
+        "  honest blocks: {} regular, {} uncle, {} stale",
+        sample.honest.regular_blocks, sample.honest.uncle_blocks, sample.honest.stale_blocks
+    );
+    Ok(())
+}

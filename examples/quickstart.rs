@@ -1,0 +1,93 @@
+//! Quickstart: the paper's core question in 60 lines.
+//!
+//! For a pool with α of the hash power and network capability γ, is selfish
+//! mining profitable in Ethereum — and how does that compare to Bitcoin?
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example quickstart [alpha] [gamma]
+//! ```
+
+use selfish_ethereum::core::bitcoin;
+use selfish_ethereum::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let alpha: f64 = args.next().map_or(Ok(0.30), |s| s.parse())?;
+    let gamma: f64 = args.next().map_or(Ok(0.5), |s| s.parse())?;
+
+    println!("Selfish mining in Ethereum: α = {alpha}, γ = {gamma}\n");
+
+    // 1. Solve the 2-D Markov model under the Byzantium reward schedule.
+    let params = ModelParams::new(alpha, gamma, RewardSchedule::ethereum())?;
+    let analysis = Analysis::new(&params)?;
+    let revenue = analysis.revenue();
+
+    println!("Block-type rates (per mined block):");
+    println!(
+        "  regular {:.4}  uncle {:.4}  stale {:.4}",
+        revenue.regular_rate, revenue.uncle_rate, revenue.stale_rate
+    );
+
+    println!("\nPool revenue rates   (static / uncle / nephew):");
+    println!(
+        "  {:.4} / {:.4} / {:.4}",
+        revenue.pool.static_reward, revenue.pool.uncle_reward, revenue.pool.nephew_reward
+    );
+    println!("Honest revenue rates (static / uncle / nephew):");
+    println!(
+        "  {:.4} / {:.4} / {:.4}",
+        revenue.honest.static_reward, revenue.honest.uncle_reward, revenue.honest.nephew_reward
+    );
+
+    let us1 = revenue.absolute_pool(Scenario::RegularRate);
+    let us2 = revenue.absolute_pool(Scenario::RegularPlusUncleRate);
+    println!("\nAbsolute pool revenue Us (honest mining would earn {alpha:.3}):");
+    println!(
+        "  scenario 1 (pre-EIP100 difficulty): {us1:.4}  → {}",
+        verdict(us1, alpha)
+    );
+    println!(
+        "  scenario 2 (EIP100 difficulty):     {us2:.4}  → {}",
+        verdict(us2, alpha)
+    );
+
+    // 2. Cross-check with a Monte-Carlo run of Algorithm 1.
+    let config = SimConfig::builder()
+        .alpha(alpha)
+        .gamma(gamma)
+        .blocks(100_000)
+        .seed(1)
+        .build()?;
+    let report = Simulation::new(config).run();
+    println!(
+        "\nSimulation (100k blocks): Us = {:.4} (theory {us1:.4})",
+        report.absolute_pool(Scenario::RegularRate)
+    );
+
+    // 3. Context: where the thresholds sit.
+    let t1 = profitability_threshold(
+        gamma,
+        &RewardSchedule::ethereum(),
+        Scenario::RegularRate,
+        ThresholdOptions::default(),
+    )?;
+    println!("\nProfitability threshold at γ = {gamma}:");
+    println!(
+        "  Ethereum (scenario 1): α* = {}",
+        t1.map_or("none below 0.5".into(), |t| format!("{t:.3}"))
+    );
+    println!(
+        "  Bitcoin (Eyal–Sirer):  α* = {:.3}",
+        bitcoin::eyal_sirer_threshold(gamma)
+    );
+    Ok(())
+}
+
+fn verdict(us: f64, alpha: f64) -> &'static str {
+    if us > alpha {
+        "selfish mining PROFITABLE"
+    } else {
+        "honest mining better"
+    }
+}

@@ -1,0 +1,76 @@
+//! Designing a selfish-mining-resistant uncle reward (Section VI).
+//!
+//! The paper's insight: the pool's uncles are always referenced at
+//! distance 1 (earning the maximum `7/8` under Byzantium's `Ku(·)`),
+//! while honest uncles drift to longer, lower-paying distances as the
+//! attacker grows. Flattening the schedule — same reward at every
+//! distance — removes the attacker's edge. This example scores arbitrary
+//! candidate schedules, including a custom table, by the profitability
+//! threshold they induce.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example reward_design
+//! ```
+
+use selfish_ethereum::chain::{NephewReward, UncleReward};
+use selfish_ethereum::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let gamma = 0.5;
+    let opts = ThresholdOptions::default();
+
+    let candidates: Vec<(&str, RewardSchedule)> = vec![
+        ("Byzantium Ku(d)=(8-d)/8", RewardSchedule::ethereum()),
+        ("flat Ku = 4/8 (paper)", RewardSchedule::fixed_uncle(0.5)),
+        ("flat Ku = 2/8", RewardSchedule::fixed_uncle(0.25)),
+        (
+            "no uncle rewards (Bitcoin-like)",
+            RewardSchedule::custom(1.0, UncleReward::Zero, NephewReward::Zero, 0, Some(0)),
+        ),
+        // A custom increasing-with-distance table: pays *more* for distant
+        // uncles, compensating honest miners for racing a long private
+        // branch.
+        (
+            "increasing table 2/8..7/8",
+            RewardSchedule::custom(
+                1.0,
+                UncleReward::Table(vec![0.25, 0.35, 0.45, 0.55, 0.65, 0.875]),
+                NephewReward::Ethereum,
+                6,
+                None,
+            ),
+        ),
+    ];
+
+    println!("Uncle reward design vs selfish-mining threshold (γ = {gamma})\n");
+    println!(
+        "{:<34} {:>11} {:>11} {:>13}",
+        "schedule", "α* scen.1", "α* scen.2", "honest uncle $"
+    );
+    for (name, schedule) in &candidates {
+        let t1 = profitability_threshold(gamma, schedule, Scenario::RegularRate, opts)?;
+        let t2 = profitability_threshold(gamma, schedule, Scenario::RegularPlusUncleRate, opts)?;
+        // How well the schedule compensates honest miners when attacked at
+        // α = 0.3: their uncle+nephew revenue rate.
+        let params = ModelParams::new(0.3, gamma, schedule.clone())?;
+        let rev = Analysis::new(&params)?.revenue();
+        let honest_side = rev.honest.uncle_reward + rev.honest.nephew_reward;
+        println!(
+            "{name:<34} {:>11} {:>11} {:>13.4}",
+            fmt(t1),
+            fmt(t2),
+            honest_side
+        );
+    }
+
+    println!("\nReading: higher α* = harder to attack; higher honest uncle revenue =");
+    println!("better centralization medicine. Byzantium's Ku(·) maximizes the attacker's");
+    println!("subsidy; the flat 4/8 trades a little honest compensation for a 3x higher");
+    println!("threshold (0.054 → 0.163), matching Section VI of the paper.");
+    Ok(())
+}
+
+fn fmt(t: Option<f64>) -> String {
+    t.map_or("≥0.5".into(), |v| format!("{v:.3}"))
+}

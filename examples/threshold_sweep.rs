@@ -1,0 +1,72 @@
+//! Security landscape: profitability threshold across the (γ, schedule)
+//! plane, and what it means for an attacker with given resources.
+//!
+//! A compact version of Fig. 10 plus an "attack planner": given a pool
+//! size α, find the minimum network-level capability γ it needs before
+//! selfish mining pays off.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example threshold_sweep [alpha]
+//! ```
+
+use selfish_ethereum::core::bitcoin;
+use selfish_ethereum::core::threshold::excess_revenue;
+use selfish_ethereum::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let alpha: f64 = std::env::args().nth(1).map_or(Ok(0.15), |s| s.parse())?;
+
+    // Compact Fig. 10.
+    println!("Profitability thresholds α* (Ethereum Ku(·)):\n");
+    println!(
+        "{:>6} {:>10} {:>12} {:>12}",
+        "γ", "bitcoin", "eth scen.1", "eth scen.2"
+    );
+    let opts = ThresholdOptions::default();
+    for gamma in [0.0, 0.2, 0.4, 0.6, 0.8, 1.0] {
+        let btc = bitcoin::eyal_sirer_threshold(gamma);
+        let s1 = profitability_threshold(
+            gamma,
+            &RewardSchedule::ethereum(),
+            Scenario::RegularRate,
+            opts,
+        )?;
+        let s2 = profitability_threshold(
+            gamma,
+            &RewardSchedule::ethereum(),
+            Scenario::RegularPlusUncleRate,
+            opts,
+        )?;
+        println!("{gamma:>6.1} {btc:>10.3} {:>12} {:>12}", fmt(s1), fmt(s2));
+    }
+
+    // Attack planner: minimum γ for a pool of size alpha, per scenario.
+    println!("\nAttack planner for a pool with α = {alpha}:");
+    for (name, scenario) in [
+        ("scenario 1 (pre-EIP100)", Scenario::RegularRate),
+        ("scenario 2 (EIP100)", Scenario::RegularPlusUncleRate),
+    ] {
+        let mut needed = None;
+        for k in 0..=40 {
+            let gamma = k as f64 / 40.0;
+            if excess_revenue(alpha, gamma, &RewardSchedule::ethereum(), scenario, 150)? >= 0.0 {
+                needed = Some(gamma);
+                break;
+            }
+        }
+        match needed {
+            Some(g) => println!(
+                "  {name}: profitable once the pool sways γ ≥ {g:.3} of honest miners in ties"
+            ),
+            None => println!("  {name}: never profitable at this size, even with γ = 1"),
+        }
+    }
+    println!("\n(γ captures the pool's network-layer influence: the fraction of honest");
+    println!("miners that mine on the pool's branch when they see a tie.)");
+    Ok(())
+}
+
+fn fmt(t: Option<f64>) -> String {
+    t.map_or("≥0.5".into(), |v| format!("{v:.3}"))
+}

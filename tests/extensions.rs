@@ -1,0 +1,141 @@
+//! Integration tests for the beyond-the-paper extensions, wired through
+//! the facade: strategy variants, the propagation-delay study, the
+//! optimal-strategy MDP, and attack-cycle statistics — and the consistency
+//! relations that tie them back to the paper's analysis.
+
+use selfish_ethereum::core::cycles;
+use selfish_ethereum::mdp::{MdpConfig, RewardModel};
+use selfish_ethereum::prelude::*;
+use selfish_ethereum::sim::delay::{DelayConfig, DelaySimulation};
+use selfish_ethereum::sim::PoolStrategy;
+
+#[test]
+fn strategies_rank_as_measured() {
+    // γ = 0.5, α = 0.4: stubborn > selfish > honest (the strategies
+    // experiment's ordering), each by a clear margin.
+    let us = |strategy: PoolStrategy| {
+        let config = SimConfig::builder()
+            .alpha(0.4)
+            .gamma(0.5)
+            .strategy(strategy)
+            .blocks(60_000)
+            .n_honest(300)
+            .seed(2_024)
+            .build()
+            .unwrap();
+        let reports = multi::run_many(&config, 4);
+        multi::mean_absolute_pool(&reports, Scenario::RegularRate).mean
+    };
+    let honest = us(PoolStrategy::Honest);
+    let selfish = us(PoolStrategy::Selfish);
+    let stubborn = us(PoolStrategy::LeadStubborn);
+    assert!(
+        (honest - 0.4).abs() < 0.01,
+        "honest pool earns its share, got {honest}"
+    );
+    assert!(
+        selfish > honest + 0.1,
+        "selfish {selfish} vs honest {honest}"
+    );
+    assert!(
+        stubborn > selfish + 0.02,
+        "stubborn {stubborn} vs selfish {selfish}"
+    );
+}
+
+#[test]
+fn optimal_mdp_consistent_with_algorithm_1() {
+    // The paper's Algorithm 1 is a feasible policy of the Ethereum MDP,
+    // so the MDP optimum must not fall meaningfully below its revenue
+    // (small slack = the MDP's documented first-order nephew model).
+    let alpha = 0.3;
+    let params = ModelParams::new(alpha, 0.5, RewardSchedule::ethereum()).unwrap();
+    let alg1 = Analysis::new(&params)
+        .unwrap()
+        .revenue()
+        .absolute_pool(Scenario::RegularRate);
+    let opt = MdpConfig::new(alpha, 0.5, RewardModel::EthereumApprox)
+        .with_max_len(30)
+        .solve()
+        .unwrap()
+        .revenue;
+    assert!(opt > alg1 - 3e-3, "optimal {opt} vs Algorithm 1 {alg1}");
+    // And strictly above the honest baseline.
+    assert!(opt > alpha + 0.05);
+}
+
+#[test]
+fn delay_study_fairness_limits() {
+    // No delay → perfectly fair; large delay + Bitcoin rules → the big
+    // miner wins more than its share; Ethereum rules compress the edge.
+    let run = |delay: f64, schedule: RewardSchedule| {
+        let config = DelayConfig::builder()
+            .shares(vec![0.4, 0.15, 0.15, 0.15, 0.15])
+            .delay(delay)
+            .blocks(60_000)
+            .seed(5)
+            .schedule(schedule)
+            .build()
+            .unwrap();
+        DelaySimulation::new(config).run()
+    };
+    let fair = run(0.0, RewardSchedule::ethereum());
+    assert_eq!(fair.orphan_rate(), 0.0);
+    assert!((fair.advantage(0) - 1.0).abs() < 0.03);
+
+    let btc = run(6.0, RewardSchedule::bitcoin());
+    let eth = run(6.0, RewardSchedule::ethereum());
+    assert!(
+        btc.advantage(0) > 1.02,
+        "bitcoin advantage {}",
+        btc.advantage(0)
+    );
+    assert!(
+        eth.advantage(0) < btc.advantage(0),
+        "uncle rewards compress: {} vs {}",
+        eth.advantage(0),
+        btc.advantage(0)
+    );
+}
+
+#[test]
+fn cycle_statistics_bridge_theory_and_simulation() {
+    // E[cycle length] = 1/π₀₀ analytically; the simulator's empirical
+    // (0,0) frequency inverts to the same number.
+    let (alpha, gamma) = (0.35, 0.5);
+    let params =
+        ModelParams::with_truncation(alpha, gamma, RewardSchedule::ethereum(), 120).unwrap();
+    let stats = cycles::cycle_stats(&params).unwrap();
+    assert!((stats.expected_length - stats.expected_length_via_hitting).abs() < 1e-6);
+
+    let config = SimConfig::builder()
+        .alpha(alpha)
+        .gamma(gamma)
+        .blocks(150_000)
+        .n_honest(100)
+        .seed(88)
+        .build()
+        .unwrap();
+    let report = Simulation::new(config).run();
+    let empirical_cycle = 1.0 / report.state_frequency(0, 0);
+    assert!(
+        (empirical_cycle - stats.expected_length).abs() / stats.expected_length < 0.05,
+        "empirical {empirical_cycle} vs analytic {}",
+        stats.expected_length
+    );
+}
+
+#[test]
+fn waste_is_the_price_of_the_attack() {
+    // The cycle-level waste fraction equals the analytic uncle+stale rate,
+    // and honest miners bear most of it.
+    let params = ModelParams::with_truncation(0.4, 0.5, RewardSchedule::ethereum(), 120).unwrap();
+    let stats = cycles::cycle_stats(&params).unwrap();
+    let rev = Analysis::new(&params).unwrap().revenue();
+    let expected_waste = rev.uncle_rate + rev.stale_rate;
+    assert!((stats.waste_fraction() - expected_waste).abs() < 1e-9);
+    assert!(
+        expected_waste > 0.2,
+        "a 40% attacker wastes over a fifth of all blocks"
+    );
+}

@@ -1,0 +1,174 @@
+//! End-to-end checks of every number the paper states in prose, through
+//! the public facade API.
+
+use selfish_ethereum::core::bitcoin;
+use selfish_ethereum::prelude::*;
+
+fn threshold(gamma: f64, schedule: &RewardSchedule, scenario: Scenario) -> f64 {
+    profitability_threshold(gamma, schedule, scenario, ThresholdOptions::default())
+        .expect("solver ok")
+        .expect("threshold exists below 0.5")
+}
+
+#[test]
+fn abstract_claim_threshold_below_bitcoin() {
+    // "We find that this threshold is lower than that in Bitcoin mining
+    // (which is 25% as discovered by Eyal and Sirer)" — at γ = 0.5,
+    // scenario 1.
+    let eth = threshold(0.5, &RewardSchedule::ethereum(), Scenario::RegularRate);
+    assert!((bitcoin::eyal_sirer_threshold(0.5) - 0.25).abs() < 1e-12);
+    assert!(
+        eth < 0.25,
+        "Ethereum threshold {eth} must undercut Bitcoin's 0.25"
+    );
+}
+
+#[test]
+fn section5_threshold_0163_at_ku_half() {
+    // Fig. 8 discussion: "when α is above 0.163, the selfish pool can
+    // always gain higher revenue" (γ = 0.5, Ku = 4/8).
+    let t = threshold(
+        0.5,
+        &RewardSchedule::fixed_uncle(0.5),
+        Scenario::RegularRate,
+    );
+    assert!((t - 0.163).abs() < 0.005, "got {t}");
+}
+
+#[test]
+fn section6_all_four_thresholds() {
+    let eth = RewardSchedule::ethereum();
+    let flat = RewardSchedule::fixed_uncle(0.5);
+    let cases = [
+        (&eth, Scenario::RegularRate, 0.054),
+        (&flat, Scenario::RegularRate, 0.163),
+        (&eth, Scenario::RegularPlusUncleRate, 0.270),
+        (&flat, Scenario::RegularPlusUncleRate, 0.356),
+    ];
+    for (schedule, scenario, want) in cases {
+        let got = threshold(0.5, schedule, scenario);
+        assert!(
+            (got - want).abs() < 0.01,
+            "{scenario:?}: got {got}, paper says {want}"
+        );
+    }
+}
+
+#[test]
+fn fig9_total_revenue_soars_to_135_percent() {
+    // "the total revenue increases with α and soars to 135% ... when
+    // Ku = 7/8 and α = 0.45."
+    let params = ModelParams::new(0.45, 0.5, RewardSchedule::fixed_uncle_unbounded(0.875)).unwrap();
+    let total = Analysis::new(&params)
+        .unwrap()
+        .revenue()
+        .absolute_total(Scenario::RegularRate);
+    assert!((total - 1.35).abs() < 0.02, "total revenue {total}");
+}
+
+#[test]
+fn fig9_higher_uncle_reward_more_revenue() {
+    // "the higher uncle reward, the more absolute revenue for both the
+    // selfish pool and honest miners."
+    let mut prev_us = 0.0;
+    let mut prev_uh = 0.0;
+    for ku in [0.25, 0.5, 0.875] {
+        let params = ModelParams::new(0.3, 0.5, RewardSchedule::fixed_uncle_unbounded(ku)).unwrap();
+        let rev = Analysis::new(&params).unwrap().revenue();
+        let us = rev.absolute_pool(Scenario::RegularRate);
+        let uh = rev.absolute_honest(Scenario::RegularRate);
+        assert!(us > prev_us, "Us must increase with Ku");
+        assert!(uh > prev_uh, "Uh must increase with Ku");
+        prev_us = us;
+        prev_uh = uh;
+    }
+}
+
+#[test]
+fn fig9_ethereum_ku_equals_78_for_pool() {
+    // "the uncle reward function Ku(·) used in Ethereum has the same
+    // effect as simply setting Ku = 7/8Ks for selfish pool's revenue."
+    let eth = Analysis::new(&ModelParams::new(0.35, 0.5, RewardSchedule::ethereum()).unwrap())
+        .unwrap()
+        .revenue();
+    let f78 =
+        Analysis::new(&ModelParams::new(0.35, 0.5, RewardSchedule::fixed_uncle(0.875)).unwrap())
+            .unwrap()
+            .revenue();
+    assert!((eth.pool.uncle_reward - f78.pool.uncle_reward).abs() < 1e-10);
+}
+
+#[test]
+fn fig10_scenario2_crosses_bitcoin_near_039() {
+    // "the hash power thresholds in scenario 2 are higher than Bitcoin
+    // when γ ≥ 0.39."
+    let eth = RewardSchedule::ethereum();
+    let below = threshold(0.3, &eth, Scenario::RegularPlusUncleRate);
+    assert!(
+        below < bitcoin::eyal_sirer_threshold(0.3),
+        "at γ=0.3 scenario 2 still below"
+    );
+    let above = threshold(0.5, &eth, Scenario::RegularPlusUncleRate);
+    assert!(
+        above > bitcoin::eyal_sirer_threshold(0.5),
+        "at γ=0.5 scenario 2 above"
+    );
+}
+
+#[test]
+fn fig8_small_losses_below_threshold() {
+    // "when α is below the threshold 0.163, the selfish pool loses just a
+    // small amount of revenue due to the additional uncle block rewards,
+    // which is quite different from the results in Bitcoin."
+    let alpha = 0.10;
+    let eth_params = ModelParams::new(alpha, 0.5, RewardSchedule::fixed_uncle(0.5)).unwrap();
+    let us_eth = Analysis::new(&eth_params)
+        .unwrap()
+        .revenue()
+        .absolute_pool(Scenario::RegularRate);
+    let btc_rel = bitcoin::eyal_sirer_revenue(alpha, 0.5);
+    let eth_loss = alpha - us_eth;
+    let btc_loss = alpha - btc_rel;
+    assert!(eth_loss > 0.0, "still a loss below threshold");
+    assert!(
+        eth_loss < 0.5 * btc_loss,
+        "Ethereum loss {eth_loss} should be much smaller than Bitcoin's {btc_loss}"
+    );
+}
+
+#[test]
+fn remark2_pi00_decreasing_in_alpha() {
+    use selfish_ethereum::core::stationary::pi00;
+    let mut prev = 1.0 + 1e-12;
+    for k in 0..=49 {
+        let v = pi00(k as f64 / 100.0);
+        assert!(v < prev);
+        prev = v;
+    }
+}
+
+#[test]
+fn table2_analytic_values() {
+    let params = ModelParams::new(0.3, 0.5, RewardSchedule::ethereum()).unwrap();
+    let d = Analysis::new(&params).unwrap().honest_uncle_distances();
+    let paper = [0.527, 0.295, 0.111, 0.043, 0.017, 0.007];
+    for (i, &want) in paper.iter().enumerate() {
+        assert!((d.prob(i as u64 + 1) - want).abs() < 2e-3);
+    }
+    assert!((d.expectation() - 1.75).abs() < 0.01);
+}
+
+#[test]
+fn gamma_one_profitable_for_any_hash_power() {
+    // "when γ = 1, the selfish mining in Bitcoin and Ethereum can always
+    // be profitable regardless of their hash power."
+    assert_eq!(bitcoin::eyal_sirer_threshold(1.0), 0.0);
+    for &alpha in &[0.02, 0.1, 0.3] {
+        let params = ModelParams::new(alpha, 1.0, RewardSchedule::ethereum()).unwrap();
+        let us = Analysis::new(&params)
+            .unwrap()
+            .revenue()
+            .absolute_pool(Scenario::RegularRate);
+        assert!(us >= alpha - 1e-9, "alpha={alpha}: Us={us}");
+    }
+}

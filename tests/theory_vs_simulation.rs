@@ -1,0 +1,158 @@
+//! The paper's central validation (Fig. 8): the Monte-Carlo simulator and
+//! the 2-D Markov analysis must agree on every revenue metric.
+//!
+//! Each comparison runs several seeded simulations and checks the analytic
+//! value lies within a few standard errors of the empirical mean (plus a
+//! small absolute tolerance for the short runs used in CI).
+
+use selfish_ethereum::prelude::*;
+
+const RUNS: u64 = 6;
+const BLOCKS: u64 = 40_000;
+
+fn compare(alpha: f64, gamma: f64, schedule: RewardSchedule) {
+    let params = ModelParams::new(alpha, gamma, schedule.clone()).expect("valid params");
+    let theory = Analysis::new(&params).expect("solve").revenue();
+
+    let config = SimConfig::builder()
+        .alpha(alpha)
+        .gamma(gamma)
+        .schedule(schedule)
+        .blocks(BLOCKS)
+        .n_honest(300)
+        .seed(777)
+        .build()
+        .expect("valid config");
+    let reports = multi::run_many(&config, RUNS);
+
+    for scenario in [Scenario::RegularRate, Scenario::RegularPlusUncleRate] {
+        let us = multi::mean_absolute_pool(&reports, scenario);
+        let uh = multi::mean_absolute_honest(&reports, scenario);
+        let tol_us = 4.0 * us.std_dev / (RUNS as f64).sqrt() + 0.004;
+        let tol_uh = 4.0 * uh.std_dev / (RUNS as f64).sqrt() + 0.004;
+        let want_us = theory.absolute_pool(scenario);
+        let want_uh = theory.absolute_honest(scenario);
+        assert!(
+            (us.mean - want_us).abs() < tol_us,
+            "Us mismatch at alpha={alpha} gamma={gamma} {scenario:?}: sim {} vs theory {want_us} (tol {tol_us})",
+            us.mean
+        );
+        assert!(
+            (uh.mean - want_uh).abs() < tol_uh,
+            "Uh mismatch at alpha={alpha} gamma={gamma} {scenario:?}: sim {} vs theory {want_uh} (tol {tol_uh})",
+            uh.mean
+        );
+    }
+
+    // Block-type rates agree too.
+    let reg = multi::summarize(&reports, |r| r.block_type_fractions().0);
+    assert!(
+        (reg.mean - theory.regular_rate).abs() < 4.0 * reg.std_dev / (RUNS as f64).sqrt() + 0.004,
+        "regular rate mismatch at alpha={alpha} gamma={gamma}: sim {} vs theory {}",
+        reg.mean,
+        theory.regular_rate
+    );
+}
+
+#[test]
+fn ethereum_schedule_alpha_low() {
+    compare(0.15, 0.5, RewardSchedule::ethereum());
+}
+
+#[test]
+fn ethereum_schedule_alpha_mid() {
+    compare(0.30, 0.5, RewardSchedule::ethereum());
+}
+
+#[test]
+fn ethereum_schedule_alpha_high() {
+    compare(0.45, 0.5, RewardSchedule::ethereum());
+}
+
+#[test]
+fn gamma_zero_and_one_extremes() {
+    compare(0.30, 0.0, RewardSchedule::ethereum());
+    compare(0.30, 1.0, RewardSchedule::ethereum());
+}
+
+#[test]
+fn fixed_uncle_reward_schedule() {
+    compare(0.35, 0.5, RewardSchedule::fixed_uncle(0.5));
+    compare(0.35, 0.5, RewardSchedule::fixed_uncle(0.875));
+}
+
+#[test]
+fn bitcoin_schedule_matches_eyal_sirer() {
+    // With no uncle rewards the simulator must reproduce the Eyal–Sirer
+    // relative revenue.
+    let (alpha, gamma) = (0.35, 0.5);
+    let config = SimConfig::builder()
+        .alpha(alpha)
+        .gamma(gamma)
+        .schedule(RewardSchedule::bitcoin())
+        .blocks(BLOCKS)
+        .n_honest(300)
+        .seed(424)
+        .build()
+        .expect("valid config");
+    let reports = multi::run_many(&config, RUNS);
+    let share = multi::summarize(&reports, |r| r.relative_pool_share());
+    let want = selfish_ethereum::core::bitcoin::eyal_sirer_revenue(alpha, gamma);
+    assert!(
+        (share.mean - want).abs() < 4.0 * share.std_dev / (RUNS as f64).sqrt() + 0.004,
+        "Bitcoin relative share: sim {} vs Eyal-Sirer {want}",
+        share.mean
+    );
+}
+
+#[test]
+fn empirical_state_frequencies_match_stationary() {
+    let (alpha, gamma) = (0.3, 0.5);
+    let config = SimConfig::builder()
+        .alpha(alpha)
+        .gamma(gamma)
+        .blocks(120_000)
+        .n_honest(100)
+        .seed(5150)
+        .build()
+        .expect("valid config");
+    let report = Simulation::new(config).run();
+    let params = ModelParams::new(alpha, gamma, RewardSchedule::ethereum()).expect("valid");
+    let analysis = Analysis::new(&params).expect("solve");
+    for (ls, lh) in [(0u32, 0u32), (1, 0), (1, 1), (2, 0), (3, 0), (3, 1)] {
+        let emp = report.state_frequency(ls, lh);
+        let the = analysis.pi(State::new(ls, lh));
+        assert!(
+            (emp - the).abs() < 0.01,
+            "state ({ls},{lh}): empirical {emp:.4} vs stationary {the:.4}"
+        );
+    }
+}
+
+#[test]
+fn table2_distances_from_simulation() {
+    let config = SimConfig::builder()
+        .alpha(0.45)
+        .gamma(0.5)
+        .blocks(80_000)
+        .n_honest(300)
+        .seed(31)
+        .build()
+        .expect("valid config");
+    let reports = multi::run_many(&config, 4);
+    let pmf = multi::mean_honest_distance_distribution(&reports);
+    let paper = [0.284, 0.249, 0.171, 0.125, 0.096, 0.075];
+    for (d, (&got, &want)) in pmf.iter().zip(paper.iter()).enumerate() {
+        assert!(
+            (got - want).abs() < 0.02,
+            "P(d={}) = {got:.3}, paper {want:.3}",
+            d + 1
+        );
+    }
+    let expectation = multi::summarize(&reports, |r| r.honest_distance_expectation());
+    assert!(
+        (expectation.mean - 2.72).abs() < 0.1,
+        "expectation {}",
+        expectation.mean
+    );
+}

@@ -1,0 +1,126 @@
+//! Cross-crate API flows through the facade: building trees by hand,
+//! classifying and accounting them, and wiring analysis pieces together —
+//! the way a downstream user would.
+
+use selfish_ethereum::chain::accounting;
+use selfish_ethereum::chain::classify::{self, BlockClass};
+use selfish_ethereum::chain::forkchoice::{self, TieBreak};
+use selfish_ethereum::markov::{ChainBuilder, SolveOptions};
+use selfish_ethereum::prelude::*;
+
+#[test]
+fn manual_selfish_episode_accounts_like_the_paper() {
+    // Re-enact Fig. 5: the pool withholds three blocks, publishes under
+    // pressure, and overrides two honest blocks.
+    let pool = MinerId(0);
+    let honest = MinerId(1);
+    let mut tree = BlockTree::new();
+    let base = tree.genesis();
+
+    // Step 1: pool mines A1, B1, C1 privately.
+    let a1 = tree.add_block(base, pool, &[]).unwrap();
+    let b1 = tree.add_block(a1, pool, &[]).unwrap();
+    let c1 = tree.add_block(b1, pool, &[]).unwrap();
+    // Step 2: honest A2 appears, pool publishes A1.
+    let a2 = tree.add_block(base, honest, &[]).unwrap();
+    // Step 3: honest B2 on A2; pool publishes everything and wins.
+    let b2 = tree.add_block(a2, honest, &[]).unwrap();
+    // Aftermath: next block (honest) extends C1, referencing the orphans.
+    let d = tree.add_block(c1, honest, &[a2, b2]).unwrap();
+
+    let chain = forkchoice::longest_chain(&tree, TieBreak::FirstSeen);
+    assert_eq!(chain.last(), Some(&d));
+
+    let classes = classify::classify(&tree, &chain, 6);
+    assert_eq!(classes[&c1], BlockClass::Regular);
+    // A2 forked directly off the main chain → uncle, referenced by D at
+    // height 4 (distance 3). B2's parent A2 is itself stale, so B2 can
+    // never be an uncle (the paper's Case 11) — D's reference to it is
+    // invalid and ignored.
+    assert!(matches!(
+        classes[&a2],
+        BlockClass::Uncle { distance: 3, .. }
+    ));
+    assert_eq!(classes[&b2], BlockClass::Stale);
+
+    let report = accounting::account(&tree, &chain, &RewardSchedule::ethereum());
+    // Pool: 3 static; honest: 1 static + Ku(3) + 1 nephew reward.
+    assert_eq!(report.miner(pool).static_reward, 3.0);
+    let h = report.miner(honest);
+    assert_eq!(h.static_reward, 1.0);
+    assert!((h.uncle_reward - 5.0 / 8.0).abs() < 1e-12);
+    assert!((h.nephew_reward - 1.0 / 32.0).abs() < 1e-12);
+    assert_eq!(h.stale_blocks, 1);
+}
+
+#[test]
+fn markov_crate_usable_standalone() {
+    // The generic machinery is not tied to the mining model.
+    let mut b = ChainBuilder::new();
+    for i in 0..10u32 {
+        b.add_rate(i, (i + 1) % 10, 1.0);
+        b.add_rate(i, i, 1.0);
+    }
+    let pi = b.build_dtmc().stationary(SolveOptions::default()).unwrap();
+    for i in 0..10u32 {
+        assert!((pi.prob(&i) - 0.1).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn facade_prelude_covers_the_workflow() {
+    let params = ModelParams::new(0.2, 0.5, RewardSchedule::ethereum()).unwrap();
+    let analysis = Analysis::new(&params).unwrap();
+    let revenue: RevenueBreakdown = analysis.revenue();
+    assert!(revenue.relative_pool_share() > 0.0);
+
+    let config = SimConfig::builder()
+        .alpha(0.2)
+        .blocks(5_000)
+        .seed(3)
+        .build()
+        .unwrap();
+    let report: SimReport = Simulation::new(config).run();
+    assert!(report.pool.total() > 0.0);
+}
+
+#[test]
+fn ghost_and_longest_agree_on_selfish_trees() {
+    // Under Algorithm 1 the private branch is both longest and heaviest,
+    // so the two fork-choice rules pick the same head on simulated trees.
+    let config = SimConfig::builder()
+        .alpha(0.4)
+        .blocks(5_000)
+        .n_honest(50)
+        .seed(9)
+        .build()
+        .unwrap();
+    let mut sim = Simulation::new(config);
+    for _ in 0..5_000 {
+        sim.step();
+    }
+    let tree = sim.tree();
+    let a = forkchoice::longest_chain_head(tree, TieBreak::FirstSeen);
+    let b = forkchoice::ghost_head(tree, TieBreak::FirstSeen);
+    assert_eq!(tree.height(a), tree.height(b), "same consensus depth");
+}
+
+#[test]
+fn error_types_are_std_errors() {
+    fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+    assert_error::<AnalysisError>();
+    assert_error::<selfish_ethereum::chain::ChainError>();
+    assert_error::<selfish_ethereum::markov::SolveError>();
+    assert_error::<selfish_ethereum::sim::SimError>();
+}
+
+#[test]
+fn data_types_are_debuggable_and_cloneable() {
+    let params = ModelParams::new(0.3, 0.5, RewardSchedule::ethereum()).unwrap();
+    let text = format!("{:?}", params.clone());
+    assert!(text.contains("0.3"));
+
+    let config = SimConfig::builder().alpha(0.25).build().unwrap();
+    let text = format!("{:?}", config.clone());
+    assert!(text.contains("0.25"));
+}

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Workspace CI: build, test, lint, format. Mirrors what the tier-1 driver
+# runs (build + root-package tests) and extends it to every crate.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q (workspace)"
+cargo test --workspace -q
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "CI OK"

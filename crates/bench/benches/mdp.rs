@@ -1,0 +1,75 @@
+//! Benchmarks for the two numeric kernels the paper's headline numbers
+//! funnel through: the CSR SpMV at the heart of the stationary solvers and
+//! the Dinkelbach MDP solve.
+//!
+//! The MDP comparison pits the single-expansion solver (the transition
+//! table is flattened once per solve and re-weighted per ρ candidate)
+//! against the legacy behaviour of re-expanding the table on every ρ
+//! iterate; the single-expansion path must win by ≥ 2× (tracked in
+//! `BENCH_solver.json`, see the `bench_solver` binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use seleth_chain::RewardSchedule;
+use seleth_core::ModelParams;
+use seleth_mdp::{MdpConfig, RewardModel};
+
+fn bench_csr_spmv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("csr_spmv");
+    for &truncation in &[100u32, 200] {
+        let params = ModelParams::with_truncation(0.4, 0.5, RewardSchedule::ethereum(), truncation)
+            .expect("valid params");
+        let dtmc = seleth_core::chain_model::build_dtmc(&params);
+        let matrix = dtmc.matrix().clone();
+        let n = matrix.n_rows();
+        let pi = vec![1.0 / n as f64; n];
+        let mut out = vec![0.0; n];
+        group.throughput(Throughput::Elements(matrix.nnz() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(truncation),
+            &truncation,
+            |b, _| {
+                b.iter(|| {
+                    matrix.left_mul_vec(black_box(&pi), &mut out);
+                    black_box(out[0])
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_mdp_solve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mdp_solve");
+    for (name, rewards) in [
+        ("bitcoin", RewardModel::Bitcoin),
+        ("ethereum", RewardModel::EthereumApprox),
+    ] {
+        group.bench_function(name, |b| {
+            let config = MdpConfig::new(0.35, 0.5, rewards).with_max_len(20);
+            b.iter(|| black_box(&config).solve().expect("mdp solve"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_mdp_expansion_reuse(c: &mut Criterion) {
+    // Head-to-head: one expansion per solve vs one expansion per ρ iterate.
+    let mut group = c.benchmark_group("mdp_expansion");
+    let config = MdpConfig::new(0.35, 0.5, RewardModel::Bitcoin).with_max_len(20);
+    group.bench_function("single_expansion", |b| {
+        b.iter(|| black_box(&config).solve().expect("mdp solve"));
+    });
+    group.bench_function("reexpand_per_rho", |b| {
+        b.iter(|| black_box(&config).solve_reexpanding().expect("mdp solve"));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_csr_spmv, bench_mdp_solve, bench_mdp_expansion_reuse
+);
+criterion_main!(benches);

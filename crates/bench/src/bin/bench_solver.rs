@@ -1,0 +1,131 @@
+//! Solver performance tracker: times the hot numeric kernels and writes
+//! `BENCH_solver.json` into the results directory so the perf trajectory
+//! is recorded PR over PR.
+//!
+//! Measured (all wall-clock, best of `SELETH_BENCH_REPS` repetitions,
+//! default 3):
+//!
+//! - `csr_spmv_ns`: one `π ← π P` product on the paper's chain at
+//!   truncation 200 (the stationary solvers' inner loop);
+//! - `stationary_solve_ms`: a full Gauss–Seidel stationary solve at
+//!   truncation 200;
+//! - `mdp_solve_ms`: the single-expansion, warm-started Dinkelbach solve
+//!   at the default truncation of [`MdpConfig::new`];
+//! - `mdp_solve_reexpand_ms`: the legacy behaviour (re-expansion and a
+//!   cold-started value function per ρ candidate) on the same MDP;
+//! - `mdp_expansion_reuse_speedup`: the ratio of the two — the
+//!   acceptance gate for the single-expansion layout is ≥ 2×.
+//!
+//! Usage: `cargo run --release -p seleth-bench --bin bench_solver`.
+//! Set `SELETH_MDP_LEN` to override the MDP truncation (the default of 60
+//! takes a few minutes of total runtime; CI smoke runs use e.g. 16).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use seleth_chain::RewardSchedule;
+use seleth_core::{stationary, ModelParams};
+use seleth_mdp::{MdpConfig, RewardModel};
+
+fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let value = f();
+        best = best.min(start.elapsed().as_secs_f64());
+        out = Some(value);
+    }
+    (best, out.expect("at least one repetition"))
+}
+
+fn main() {
+    let reps: usize = std::env::var("SELETH_BENCH_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let mdp_len: u32 = std::env::var("SELETH_MDP_LEN")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| MdpConfig::new(0.35, 0.5, RewardModel::Bitcoin).max_len);
+
+    // --- CSR SpMV on the paper's chain at truncation 200 ---
+    let params = ModelParams::with_truncation(0.4, 0.5, RewardSchedule::ethereum(), 200)
+        .expect("valid params");
+    let dtmc = seleth_core::chain_model::build_dtmc(&params);
+    let matrix = dtmc.matrix();
+    let n = matrix.n_rows();
+    let pi = vec![1.0 / n as f64; n];
+    let mut out = vec![0.0; n];
+    // Batch to get above timer resolution.
+    let spmv_batch = 1_000;
+    let (spmv_batch_s, _) = best_of(reps, || {
+        for _ in 0..spmv_batch {
+            matrix.left_mul_vec(&pi, &mut out);
+        }
+        out[0]
+    });
+    let csr_spmv_ns = spmv_batch_s / spmv_batch as f64 * 1e9;
+    println!(
+        "csr_spmv            {n} states, {} nnz: {csr_spmv_ns:.0} ns/product",
+        matrix.nnz()
+    );
+
+    // --- Full stationary solve ---
+    let (stationary_s, _) = best_of(reps, || stationary::solve(&params).expect("solve"));
+    println!(
+        "stationary_solve    truncation 200: {:.2} ms",
+        stationary_s * 1e3
+    );
+
+    // --- MDP: single expansion + warm start vs legacy re-expansion ---
+    let config = MdpConfig::new(0.35, 0.5, RewardModel::Bitcoin).with_max_len(mdp_len);
+    let (fast_s, fast) = best_of(reps, || config.solve().expect("mdp solve"));
+    let (slow_s, slow) = best_of(reps, || config.solve_reexpanding().expect("mdp solve"));
+    assert!(
+        (fast.revenue - slow.revenue).abs() < 1e-9,
+        "solvers disagree: {} vs {}",
+        fast.revenue,
+        slow.revenue
+    );
+    let speedup = slow_s / fast_s;
+    println!(
+        "mdp_solve           len {mdp_len}: {:.2} ms single-expansion ({} sweeps) \
+         vs {:.2} ms re-expanding ({} sweeps) → {speedup:.2}x",
+        fast_s * 1e3,
+        fast.iterations,
+        slow_s * 1e3,
+        slow.iterations
+    );
+
+    // --- Emit BENCH_solver.json ---
+    let mut json = String::from("{\n");
+    let mut field = |key: &str, value: String| {
+        let _ = writeln!(json, "  \"{key}\": {value},");
+    };
+    field("truncation", "200".into());
+    field("csr_states", n.to_string());
+    field("csr_nnz", matrix.nnz().to_string());
+    field("csr_spmv_ns", format!("{csr_spmv_ns:.1}"));
+    field("stationary_solve_ms", format!("{:.3}", stationary_s * 1e3));
+    field("mdp_max_len", mdp_len.to_string());
+    field("mdp_solve_ms", format!("{:.3}", fast_s * 1e3));
+    field("mdp_solve_sweeps", fast.iterations.to_string());
+    field("mdp_solve_reexpand_ms", format!("{:.3}", slow_s * 1e3));
+    field("mdp_solve_reexpand_sweeps", slow.iterations.to_string());
+    field("mdp_expansion_reuse_speedup", format!("{speedup:.3}"));
+    field("reps", reps.to_string());
+    // Trailing field without comma.
+    let _ = write!(json, "  \"revenue_check\": {:.9}\n}}\n", fast.revenue);
+
+    let dir = seleth_bench::results_dir();
+    std::fs::create_dir_all(&dir).expect("create results directory");
+    let path = dir.join("BENCH_solver.json");
+    std::fs::write(&path, json).expect("write BENCH_solver.json");
+    println!("wrote {}", path.display());
+
+    if speedup < 2.0 {
+        eprintln!("WARNING: single-expansion speedup {speedup:.2}x below the 2x acceptance gate");
+        std::process::exit(1);
+    }
+}

@@ -54,6 +54,17 @@ impl BlockTree {
         BlockId(0)
     }
 
+    /// Drop every block except genesis, keeping the arena's allocations.
+    ///
+    /// Lets long-running drivers (e.g. `seleth-sim`'s multi-run workers)
+    /// recycle one tree across many simulations instead of reallocating the
+    /// arena per run.
+    pub fn reset(&mut self) {
+        self.blocks.truncate(1);
+        self.children.truncate(1);
+        self.children[0].clear();
+    }
+
     /// Total number of blocks, including genesis.
     pub fn len(&self) -> usize {
         self.blocks.len()

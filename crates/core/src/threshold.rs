@@ -194,7 +194,10 @@ mod tests {
             .unwrap()
             .unwrap();
             let want = crate::bitcoin::eyal_sirer_threshold(gamma);
-            assert!((got - want).abs() < 2e-3, "gamma={gamma}: got {got}, want {want}");
+            assert!(
+                (got - want).abs() < 2e-3,
+                "gamma={gamma}: got {got}, want {want}"
+            );
         }
     }
 
@@ -202,14 +205,14 @@ mod tests {
     fn no_threshold_reported_when_unprofitable_everywhere() {
         // A punitive schedule: no uncle rewards plus a scan capped below
         // the Bitcoin threshold finds no crossing.
-        let opts = ThresholdOptions { max_alpha: 0.2, truncation: 80, ..Default::default() };
-        let t = profitability_threshold(
-            0.0,
-            &RewardSchedule::bitcoin(),
-            Scenario::RegularRate,
-            opts,
-        )
-        .unwrap();
+        let opts = ThresholdOptions {
+            max_alpha: 0.2,
+            truncation: 80,
+            ..Default::default()
+        };
+        let t =
+            profitability_threshold(0.0, &RewardSchedule::bitcoin(), Scenario::RegularRate, opts)
+                .unwrap();
         assert_eq!(t, None, "no profitable alpha below 0.2 at gamma=0");
     }
 

@@ -1,6 +1,7 @@
 use std::collections::HashMap;
 use std::hash::Hash;
 
+use crate::csr::{CsrBuilder, CsrMatrix};
 use crate::ctmc::Ctmc;
 use crate::dtmc::Dtmc;
 
@@ -77,40 +78,47 @@ impl<S: Eq + Hash + Clone> ChainBuilder<S> {
         *self.rows[fi].entry(ti).or_insert(0.0) += rate;
     }
 
-    #[allow(clippy::type_complexity)]
-    fn into_parts(self) -> (Vec<S>, HashMap<S, usize>, Vec<Vec<(usize, f64)>>) {
-        let rows = self
-            .rows
-            .into_iter()
-            .map(|r| {
-                let mut v: Vec<(usize, f64)> =
-                    r.into_iter().filter(|&(_, rate)| rate > 0.0).collect();
-                v.sort_unstable_by_key(|&(c, _)| c);
-                v
-            })
-            .collect();
-        (self.states, self.index, rows)
+    /// Flatten the accumulated hash-indexed rows into contiguous CSR
+    /// storage, column-sorted, dropping zero rates. This is the boundary
+    /// where hashing ends: everything downstream is index arithmetic.
+    fn into_parts(self) -> (Vec<S>, HashMap<S, usize>, CsrMatrix) {
+        let ChainBuilder {
+            states,
+            index,
+            rows,
+        } = self;
+        let nnz = rows.iter().map(HashMap::len).sum();
+        let mut csr = CsrBuilder::with_capacity(rows.len(), nnz);
+        let mut scratch: Vec<(usize, f64)> = Vec::new();
+        for row in rows {
+            scratch.clear();
+            scratch.extend(row.into_iter().filter(|&(_, rate)| rate > 0.0));
+            scratch.sort_unstable_by_key(|&(c, _)| c);
+            csr.push_row(&scratch);
+        }
+        (states, index, csr.finish())
     }
 
     /// Finish as a discrete-time chain: each row of accumulated rates is
     /// normalized into a probability distribution (the embedded jump chain).
     pub fn build_dtmc(self) -> Dtmc<S> {
-        let (states, index, mut rows) = self.into_parts();
-        for row in &mut rows {
-            let total: f64 = row.iter().map(|&(_, r)| r).sum();
+        let (states, index, mut matrix) = self.into_parts();
+        for i in 0..matrix.n_rows() {
+            let values = matrix.row_values_mut(i);
+            let total: f64 = values.iter().sum();
             if total > 0.0 {
-                for entry in row.iter_mut() {
-                    entry.1 /= total;
+                for v in values {
+                    *v /= total;
                 }
             }
         }
-        Dtmc::from_parts(states, index, rows)
+        Dtmc::from_parts(states, index, matrix)
     }
 
     /// Finish as a continuous-time chain, keeping rates as given.
     pub fn build_ctmc(self) -> Ctmc<S> {
-        let (states, index, rows) = self.into_parts();
-        Ctmc::from_parts(states, index, rows)
+        let (states, index, matrix) = self.into_parts();
+        Ctmc::from_parts(states, index, matrix)
     }
 }
 

@@ -1,0 +1,318 @@
+//! Contiguous sparse-matrix storage (compressed sparse row).
+//!
+//! Every hot numeric kernel in this crate — power iteration, Gauss–Seidel,
+//! the dense-LU fallback, first-passage sweeps — runs over a
+//! [`CsrMatrix`]: three flat arrays (`row_ptr`, `col_idx`, `values`) laid
+//! out contiguously in memory, so a row scan is a linear walk with no
+//! pointer chasing and SpMV streams the whole matrix once. Hashing exists
+//! only at the construction boundary ([`crate::ChainBuilder`] interns
+//! states into dense indices, then emits rows in index order through
+//! [`CsrBuilder`]).
+//!
+//! ```
+//! use seleth_markov::csr::CsrBuilder;
+//!
+//! let mut b = CsrBuilder::new();
+//! b.push_row(&[(0, 0.9), (1, 0.1)]);
+//! b.push_row(&[(0, 0.5), (1, 0.5)]);
+//! let m = b.finish();
+//! assert_eq!(m.n_rows(), 2);
+//! assert_eq!(m.nnz(), 4);
+//! let mut out = vec![0.0; 2];
+//! m.left_mul_vec(&[1.0, 0.0], &mut out);
+//! assert_eq!(out, vec![0.9, 0.1]);
+//! ```
+
+/// A sparse matrix in compressed-sparse-row layout.
+///
+/// Row `i`'s non-zeros live at positions `row_ptr[i]..row_ptr[i + 1]` of
+/// `col_idx`/`values`, in the column order they were pushed (the chain
+/// builder pushes them column-sorted).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// The empty 0×0 matrix.
+    pub fn empty() -> Self {
+        CsrMatrix {
+            row_ptr: vec![0],
+            col_idx: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Build from nested per-row entry lists (test/interop convenience; the
+    /// builder path is [`CsrBuilder`]).
+    pub fn from_rows(rows: &[Vec<(usize, f64)>]) -> Self {
+        let mut b = CsrBuilder::with_capacity(rows.len(), rows.iter().map(Vec::len).sum());
+        for row in rows {
+            b.push_row(row);
+        }
+        b.finish()
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.row_ptr.len() - 1
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// `true` if the matrix has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.n_rows() == 0
+    }
+
+    /// The column indices and values of row `i` as parallel slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[inline]
+    pub fn row_entries(&self, i: usize) -> (&[usize], &[f64]) {
+        let span = self.row_ptr[i]..self.row_ptr[i + 1];
+        (&self.col_idx[span.clone()], &self.values[span])
+    }
+
+    /// Iterate row `i` as `(column, value)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[inline]
+    pub fn row(&self, i: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let (cols, vals) = self.row_entries(i);
+        cols.iter().copied().zip(vals.iter().copied())
+    }
+
+    /// Number of entries stored in row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[inline]
+    pub fn row_len(&self, i: usize) -> usize {
+        self.row_ptr[i + 1] - self.row_ptr[i]
+    }
+
+    /// The value at `(i, j)`, or `0.0` if the entry is not stored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let (cols, vals) = self.row_entries(i);
+        cols.iter().position(|&c| c == j).map_or(0.0, |k| vals[k])
+    }
+
+    /// Row-vector product `out = x · M` (the DTMC evolution kernel
+    /// `π ← π P`): scatters each row `i` scaled by `x[i]` into `out`.
+    ///
+    /// Skips rows with `x[i] == 0`, which the power-iteration caller relies
+    /// on for sparse initial distributions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` or `out` is shorter than the row count.
+    pub fn left_mul_vec(&self, x: &[f64], out: &mut [f64]) {
+        let n = self.n_rows();
+        assert!(x.len() >= n && out.len() >= n, "vector shorter than matrix");
+        out[..n].fill(0.0);
+        for (i, &xi) in x.iter().enumerate().take(n) {
+            if xi == 0.0 {
+                continue;
+            }
+            let (cols, vals) = self.row_entries(i);
+            for (&j, &v) in cols.iter().zip(vals) {
+                out[j] += xi * v;
+            }
+        }
+    }
+
+    /// The transposed matrix, with each transposed row's entries ordered by
+    /// ascending original row index (the order a column scan of `self` in
+    /// row order would visit them).
+    pub fn transpose(&self) -> CsrMatrix {
+        let n = self.n_rows();
+        let mut counts = vec![0usize; n + 1];
+        for &j in &self.col_idx {
+            counts[j + 1] += 1;
+        }
+        for k in 1..=n {
+            counts[k] += counts[k - 1];
+        }
+        let row_ptr = counts.clone();
+        let mut cursor = counts;
+        let mut col_idx = vec![0usize; self.nnz()];
+        let mut values = vec![0.0f64; self.nnz()];
+        for i in 0..n {
+            let (cols, vals) = self.row_entries(i);
+            for (&j, &v) in cols.iter().zip(vals) {
+                let slot = cursor[j];
+                cursor[j] += 1;
+                col_idx[slot] = i;
+                values[slot] = v;
+            }
+        }
+        CsrMatrix {
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Mutably borrow the values of row `i` (used by the builder to
+    /// normalize rows in place).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub(crate) fn row_values_mut(&mut self, i: usize) -> &mut [f64] {
+        let span = self.row_ptr[i]..self.row_ptr[i + 1];
+        &mut self.values[span]
+    }
+}
+
+/// Incremental row-by-row constructor for [`CsrMatrix`].
+#[derive(Debug, Clone, Default)]
+pub struct CsrBuilder {
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        CsrBuilder {
+            row_ptr: vec![0],
+            col_idx: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// An empty builder with reserved capacity.
+    pub fn with_capacity(rows: usize, nnz: usize) -> Self {
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        row_ptr.push(0);
+        CsrBuilder {
+            row_ptr,
+            col_idx: Vec::with_capacity(nnz),
+            values: Vec::with_capacity(nnz),
+        }
+    }
+
+    /// Append the next row's entries in the given order.
+    pub fn push_row(&mut self, entries: &[(usize, f64)]) {
+        for &(j, v) in entries {
+            self.col_idx.push(j);
+            self.values.push(v);
+        }
+        self.row_ptr.push(self.col_idx.len());
+    }
+
+    /// Number of rows pushed so far.
+    pub fn n_rows(&self) -> usize {
+        self.row_ptr.len() - 1
+    }
+
+    /// Finish construction.
+    pub fn finish(self) -> CsrMatrix {
+        CsrMatrix {
+            row_ptr: self.row_ptr,
+            col_idx: self.col_idx,
+            values: self.values,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        CsrMatrix::from_rows(&[
+            vec![(0, 0.9), (1, 0.1)],
+            vec![(0, 0.5), (1, 0.5)],
+            vec![(2, 1.0)],
+        ])
+    }
+
+    #[test]
+    fn shape_and_lookup() {
+        let m = sample();
+        assert_eq!(m.n_rows(), 3);
+        assert_eq!(m.nnz(), 5);
+        assert_eq!(m.row_len(0), 2);
+        assert_eq!(m.row_len(2), 1);
+        assert_eq!(m.get(0, 1), 0.1);
+        assert_eq!(m.get(0, 2), 0.0);
+        assert_eq!(m.get(2, 2), 1.0);
+    }
+
+    #[test]
+    fn row_iteration_preserves_order() {
+        let m = sample();
+        let row: Vec<_> = m.row(0).collect();
+        assert_eq!(row, vec![(0, 0.9), (1, 0.1)]);
+        assert_eq!(m.row(2).collect::<Vec<_>>(), vec![(2, 1.0)]);
+    }
+
+    #[test]
+    fn empty_rows_are_representable() {
+        let m = CsrMatrix::from_rows(&[vec![(1, 1.0)], vec![], vec![(0, 2.0)]]);
+        assert_eq!(m.row_len(1), 0);
+        assert_eq!(m.row(1).count(), 0);
+        assert_eq!(m.row(2).collect::<Vec<_>>(), vec![(0, 2.0)]);
+    }
+
+    #[test]
+    fn left_mul_matches_dense() {
+        let m = sample();
+        let x = [0.2, 0.3, 0.5];
+        let mut out = [0.0; 3];
+        m.left_mul_vec(&x, &mut out);
+        // Dense reference.
+        let want = [0.2 * 0.9 + 0.3 * 0.5, 0.2 * 0.1 + 0.3 * 0.5, 0.5];
+        for (o, w) in out.iter().zip(want.iter()) {
+            assert!((o - w).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = sample();
+        let t = m.transpose();
+        assert_eq!(t.n_rows(), 3);
+        assert_eq!(t.nnz(), m.nnz());
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(m.get(i, j), t.get(j, i), "({i},{j})");
+            }
+        }
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn transpose_orders_by_source_row() {
+        // Column 0 receives entries from rows 0 and 1, in that order.
+        let t = sample().transpose();
+        let col0: Vec<_> = t.row(0).collect();
+        assert_eq!(col0, vec![(0, 0.9), (1, 0.5)]);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = CsrMatrix::empty();
+        assert!(m.is_empty());
+        assert_eq!(m.n_rows(), 0);
+        assert_eq!(m.nnz(), 0);
+    }
+}

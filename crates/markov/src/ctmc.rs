@@ -1,6 +1,7 @@
 use std::collections::HashMap;
 use std::hash::Hash;
 
+use crate::csr::{CsrBuilder, CsrMatrix};
 use crate::distribution::Distribution;
 use crate::dtmc::Dtmc;
 use crate::error::SolveError;
@@ -30,19 +31,15 @@ use crate::solve::{self, SolveOptions};
 pub struct Ctmc<S> {
     states: Vec<S>,
     index: HashMap<S, usize>,
-    rows: Vec<Vec<(usize, f64)>>,
+    matrix: CsrMatrix,
 }
 
 impl<S: Eq + Hash + Clone> Ctmc<S> {
-    pub(crate) fn from_parts(
-        states: Vec<S>,
-        index: HashMap<S, usize>,
-        rows: Vec<Vec<(usize, f64)>>,
-    ) -> Self {
+    pub(crate) fn from_parts(states: Vec<S>, index: HashMap<S, usize>, matrix: CsrMatrix) -> Self {
         Ctmc {
             states,
             index,
-            rows,
+            matrix,
         }
     }
 
@@ -67,10 +64,7 @@ impl<S: Eq + Hash + Clone> Ctmc<S> {
         let (Some(&fi), Some(&ti)) = (self.index.get(from), self.index.get(to)) else {
             return 0.0;
         };
-        self.rows[fi]
-            .iter()
-            .find(|&&(j, _)| j == ti)
-            .map_or(0.0, |&(_, r)| r)
+        self.matrix.get(fi, ti)
     }
 
     /// Total exit rate of `state` (excluding any self-loop).
@@ -78,10 +72,10 @@ impl<S: Eq + Hash + Clone> Ctmc<S> {
         let Some(&i) = self.index.get(state) else {
             return 0.0;
         };
-        self.rows[i]
-            .iter()
-            .filter(|&&(j, _)| j != i)
-            .map(|&(_, r)| r)
+        self.matrix
+            .row(i)
+            .filter(|&(j, _)| j != i)
+            .map(|(_, r)| r)
             .sum()
     }
 
@@ -90,6 +84,7 @@ impl<S: Eq + Hash + Clone> Ctmc<S> {
     /// Uses `Λ = 1.1 × max exit rate` (the slack guarantees aperiodicity by
     /// giving every state a self-loop).
     pub fn uniformized(&self) -> Dtmc<S> {
+        let n = self.matrix.n_rows();
         let max_exit = self
             .states
             .iter()
@@ -97,19 +92,22 @@ impl<S: Eq + Hash + Clone> Ctmc<S> {
             .fold(0.0f64, f64::max)
             .max(f64::MIN_POSITIVE);
         let lambda = 1.1 * max_exit;
-        let mut rows: Vec<Vec<(usize, f64)>> = Vec::with_capacity(self.rows.len());
-        for (i, row) in self.rows.iter().enumerate() {
-            let mut out: Vec<(usize, f64)> = row
-                .iter()
-                .filter(|&&(j, _)| j != i)
-                .map(|&(j, r)| (j, r / lambda))
-                .collect();
-            let exit: f64 = out.iter().map(|&(_, p)| p).sum();
-            out.push((i, 1.0 - exit));
-            out.sort_unstable_by_key(|&(j, _)| j);
-            rows.push(out);
+        let mut builder = CsrBuilder::with_capacity(n, self.matrix.nnz() + n);
+        let mut scratch: Vec<(usize, f64)> = Vec::new();
+        for i in 0..n {
+            scratch.clear();
+            scratch.extend(
+                self.matrix
+                    .row(i)
+                    .filter(|&(j, _)| j != i)
+                    .map(|(j, r)| (j, r / lambda)),
+            );
+            let exit: f64 = scratch.iter().map(|&(_, p)| p).sum();
+            scratch.push((i, 1.0 - exit));
+            scratch.sort_unstable_by_key(|&(j, _)| j);
+            builder.push_row(&scratch);
         }
-        Dtmc::from_parts(self.states.clone(), self.index.clone(), rows)
+        Dtmc::from_parts(self.states.clone(), self.index.clone(), builder.finish())
     }
 
     /// Compute the stationary distribution of the CTMC (via uniformization).
@@ -122,16 +120,16 @@ impl<S: Eq + Hash + Clone> Ctmc<S> {
         // Validate on the raw structure first so dead ends are reported in
         // terms of the user's chain, not the uniformized one (which gives
         // every state a self-loop).
-        if self.rows.is_empty() {
+        if self.matrix.is_empty() {
             return Err(SolveError::EmptyChain);
         }
-        for (i, row) in self.rows.iter().enumerate() {
-            if row.iter().all(|&(j, _)| j == i) {
+        for i in 0..self.matrix.n_rows() {
+            if self.matrix.row(i).all(|(j, _)| j == i) {
                 return Err(SolveError::DeadEndState { index: i });
             }
         }
         if opts.check_irreducible {
-            solve::check_irreducible(&self.rows)?;
+            solve::check_irreducible(&self.matrix)?;
         }
         let mut inner_opts = opts;
         inner_opts.check_irreducible = false;

@@ -1,6 +1,7 @@
 use std::collections::HashMap;
 use std::hash::Hash;
 
+use crate::csr::CsrMatrix;
 use crate::distribution::Distribution;
 use crate::error::SolveError;
 use crate::solve::{self, SolveOptions};
@@ -8,7 +9,10 @@ use crate::solve::{self, SolveOptions};
 /// A discrete-time Markov chain with row-stochastic transition matrix.
 ///
 /// Built with [`crate::ChainBuilder::build_dtmc`]; rows are normalized at
-/// build time, so `prob` always returns a probability.
+/// build time, so `prob` always returns a probability. Transitions are
+/// stored in a contiguous [`CsrMatrix`]; the state → index
+/// [`HashMap`] exists only for boundary lookups (`prob`, `index_of`), never
+/// inside the numeric kernels.
 ///
 /// ```
 /// use seleth_markov::{ChainBuilder, SolveOptions};
@@ -25,19 +29,15 @@ use crate::solve::{self, SolveOptions};
 pub struct Dtmc<S> {
     states: Vec<S>,
     index: HashMap<S, usize>,
-    rows: Vec<Vec<(usize, f64)>>,
+    matrix: CsrMatrix,
 }
 
 impl<S: Eq + Hash + Clone> Dtmc<S> {
-    pub(crate) fn from_parts(
-        states: Vec<S>,
-        index: HashMap<S, usize>,
-        rows: Vec<Vec<(usize, f64)>>,
-    ) -> Self {
+    pub(crate) fn from_parts(states: Vec<S>, index: HashMap<S, usize>, matrix: CsrMatrix) -> Self {
         Dtmc {
             states,
             index,
-            rows,
+            matrix,
         }
     }
 
@@ -61,10 +61,16 @@ impl<S: Eq + Hash + Clone> Dtmc<S> {
         self.index.get(state).copied()
     }
 
+    /// The CSR transition matrix (row `i` holds the out-transitions of the
+    /// state at dense index `i`, column-sorted).
+    pub fn matrix(&self) -> &CsrMatrix {
+        &self.matrix
+    }
+
     /// Iterate the non-zero transitions out of dense index `i` as
     /// `(column, probability)` pairs.
     pub(crate) fn row(&self, i: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
-        self.rows[i].iter().copied()
+        self.matrix.row(i)
     }
 
     /// One-step transition probability `from → to` (0 if either state is
@@ -73,19 +79,20 @@ impl<S: Eq + Hash + Clone> Dtmc<S> {
         let (Some(&fi), Some(&ti)) = (self.index.get(from), self.index.get(to)) else {
             return 0.0;
         };
-        self.rows[fi]
-            .iter()
-            .find(|&&(j, _)| j == ti)
-            .map_or(0.0, |&(_, p)| p)
+        self.matrix.get(fi, ti)
     }
 
     /// Iterate the non-zero transitions out of `state`.
     pub fn transitions_from<'a>(&'a self, state: &S) -> impl Iterator<Item = (&'a S, f64)> + 'a {
-        let row: &[(usize, f64)] = self
+        let (cols, vals) = self
             .index
             .get(state)
-            .map_or(&[], |&i| self.rows[i].as_slice());
-        row.iter().map(move |&(j, p)| (&self.states[j], p))
+            .map_or((&[] as &[usize], &[] as &[f64]), |&i| {
+                self.matrix.row_entries(i)
+            });
+        cols.iter()
+            .zip(vals)
+            .map(move |(&j, &p)| (&self.states[j], p))
     }
 
     /// Compute the stationary distribution `π = π P`.
@@ -96,7 +103,7 @@ impl<S: Eq + Hash + Clone> Dtmc<S> {
     /// reducible (when checking is enabled), or the iterative solver fails to
     /// converge within budget.
     pub fn stationary(&self, opts: SolveOptions) -> Result<Distribution<S>, SolveError> {
-        let probs = solve::solve(&self.rows, &opts)?;
+        let probs = solve::solve(&self.matrix, &opts)?;
         Ok(Distribution::from_parts(
             self.states.clone(),
             self.index.clone(),
@@ -120,15 +127,7 @@ impl<S: Eq + Hash + Clone> Dtmc<S> {
         pi[i0] = 1.0;
         let mut next = vec![0.0; self.states.len()];
         for _ in 0..n {
-            next.iter_mut().for_each(|x| *x = 0.0);
-            for (i, row) in self.rows.iter().enumerate() {
-                if pi[i] == 0.0 {
-                    continue;
-                }
-                for &(j, p) in row {
-                    next[j] += pi[i] * p;
-                }
-            }
+            self.matrix.left_mul_vec(&pi, &mut next);
             std::mem::swap(&mut pi, &mut next);
         }
         Distribution::from_parts(self.states.clone(), self.index.clone(), pi)

@@ -7,6 +7,10 @@
 //! (power iteration, Gauss–Seidel, dense LU) so results can be
 //! cross-validated against each other and against closed forms.
 //!
+//! All solvers run over contiguous [`csr`] storage (`row_ptr`/`col_idx`/
+//! `values` arrays); state values and hashing live only at the construction
+//! boundary, where [`ChainBuilder`] interns states into dense indices.
+//!
 //! # Quick example
 //!
 //! A two-state weather chain: sunny → rainy with probability 0.1,
@@ -36,6 +40,7 @@
 #![warn(missing_docs)]
 
 mod builder;
+pub mod csr;
 mod ctmc;
 mod distribution;
 mod dtmc;

@@ -1,6 +1,12 @@
 //! Solver configuration and the numerical kernels shared by [`crate::Dtmc`]
 //! and [`crate::Ctmc`].
+//!
+//! Every kernel operates on a [`CsrMatrix`]: contiguous `row_ptr`/`col_idx`
+//! /`values` arrays, so the inner loops are linear scans over flat memory.
+//! Gauss–Seidel additionally materializes the transpose once per solve
+//! (its sweeps are column-oriented).
 
+use crate::csr::CsrMatrix;
 use crate::error::SolveError;
 
 /// Which numerical method to use for the stationary distribution.
@@ -58,44 +64,39 @@ impl SolveOptions {
 }
 
 /// Verify every state has at least one outgoing transition.
-pub(crate) fn check_no_dead_ends(rows: &[Vec<(usize, f64)>]) -> Result<(), SolveError> {
-    for (i, row) in rows.iter().enumerate() {
-        if row.is_empty() {
+pub(crate) fn check_no_dead_ends(matrix: &CsrMatrix) -> Result<(), SolveError> {
+    for i in 0..matrix.n_rows() {
+        if matrix.row_len(i) == 0 {
             return Err(SolveError::DeadEndState { index: i });
         }
     }
     Ok(())
 }
 
-/// Check strong connectivity with a forward BFS and a backward BFS from
-/// state 0. For a finite chain this is equivalent to irreducibility.
-pub(crate) fn check_irreducible(rows: &[Vec<(usize, f64)>]) -> Result<(), SolveError> {
-    let n = rows.len();
+/// Check strong connectivity with a forward BFS on the matrix and a
+/// backward BFS on its transpose, both from state 0. For a finite chain
+/// this is equivalent to irreducibility.
+pub(crate) fn check_irreducible(matrix: &CsrMatrix) -> Result<(), SolveError> {
+    let n = matrix.n_rows();
     if n == 0 {
         return Err(SolveError::EmptyChain);
     }
-    let mut reverse: Vec<Vec<usize>> = vec![Vec::new(); n];
-    for (i, row) in rows.iter().enumerate() {
-        for &(j, _) in row {
-            reverse[j].push(i);
-        }
-    }
-    let forward_ok = bfs_covers(n, |i| rows[i].iter().map(|&(j, _)| j).collect());
-    let backward_ok = bfs_covers(n, |i| reverse[i].clone());
-    if forward_ok && backward_ok {
+    let reverse = matrix.transpose();
+    if bfs_covers(matrix) && bfs_covers(&reverse) {
         Ok(())
     } else {
         Err(SolveError::Reducible)
     }
 }
 
-fn bfs_covers(n: usize, neighbors: impl Fn(usize) -> Vec<usize>) -> bool {
+fn bfs_covers(adjacency: &CsrMatrix) -> bool {
+    let n = adjacency.n_rows();
     let mut seen = vec![false; n];
     let mut queue = std::collections::VecDeque::from([0usize]);
     seen[0] = true;
     let mut count = 1;
     while let Some(i) = queue.pop_front() {
-        for j in neighbors(i) {
+        for (j, _) in adjacency.row(i) {
             if !seen[j] {
                 seen[j] = true;
                 count += 1;
@@ -108,23 +109,14 @@ fn bfs_covers(n: usize, neighbors: impl Fn(usize) -> Vec<usize>) -> bool {
 
 /// Power iteration: `π ← π P` until the L1 change drops below tolerance.
 pub(crate) fn power_iteration(
-    rows: &[Vec<(usize, f64)>],
+    matrix: &CsrMatrix,
     opts: &SolveOptions,
 ) -> Result<Vec<f64>, SolveError> {
-    let n = rows.len();
+    let n = matrix.n_rows();
     let mut pi = vec![1.0 / n as f64; n];
     let mut next = vec![0.0; n];
     for it in 0..opts.max_iterations {
-        next.iter_mut().for_each(|x| *x = 0.0);
-        for (i, row) in rows.iter().enumerate() {
-            let p = pi[i];
-            if p == 0.0 {
-                continue;
-            }
-            for &(j, q) in row {
-                next[j] += p * q;
-            }
-        }
+        matrix.left_mul_vec(&pi, &mut next);
         normalize(&mut next);
         let residual: f64 = pi.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
         std::mem::swap(&mut pi, &mut next);
@@ -147,30 +139,31 @@ pub(crate) fn power_iteration(
 }
 
 /// Gauss–Seidel on the fixed point `π_j = Σ_i π_i P_ij` (excluding the
-/// diagonal term, solved for explicitly). Operates on the transposed matrix.
+/// diagonal term, solved for explicitly). Sweeps run over the transposed
+/// matrix, built once per solve.
 pub(crate) fn gauss_seidel(
-    rows: &[Vec<(usize, f64)>],
+    matrix: &CsrMatrix,
     opts: &SolveOptions,
 ) -> Result<Vec<f64>, SolveError> {
-    let n = rows.len();
-    // cols[j] = list of (i, P_ij) with i != j; diag[j] = P_jj.
-    let mut cols: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
-    let mut diag = vec![0.0; n];
-    for (i, row) in rows.iter().enumerate() {
-        for &(j, q) in row {
-            if i == j {
-                diag[j] = q;
-            } else {
-                cols[j].push((i, q));
-            }
-        }
-    }
+    let n = matrix.n_rows();
+    // Row j of the transpose lists (i, P_ij) by ascending i; the diagonal
+    // entry is skipped during accumulation and solved for explicitly.
+    let transpose = matrix.transpose();
     let mut pi = vec![1.0 / n as f64; n];
     for _ in 0..opts.max_iterations {
         let mut residual = 0.0;
         for j in 0..n {
-            let incoming: f64 = cols[j].iter().map(|&(i, q)| pi[i] * q).sum();
-            let denom = 1.0 - diag[j];
+            let mut incoming = 0.0;
+            let mut diag = 0.0;
+            let (cols, vals) = transpose.row_entries(j);
+            for (&i, &q) in cols.iter().zip(vals) {
+                if i == j {
+                    diag = q;
+                } else {
+                    incoming += pi[i] * q;
+                }
+            }
+            let denom = 1.0 - diag;
             let new = if denom > f64::EPSILON {
                 incoming / denom
             } else {
@@ -193,12 +186,12 @@ pub(crate) fn gauss_seidel(
 
 /// Dense direct solve of `π (P − I) = 0`, replacing the last equation by the
 /// normalization `Σ π = 1`. Gaussian elimination with partial pivoting.
-pub(crate) fn dense_lu(rows: &[Vec<(usize, f64)>]) -> Result<Vec<f64>, SolveError> {
-    let n = rows.len();
+pub(crate) fn dense_lu(matrix: &CsrMatrix) -> Result<Vec<f64>, SolveError> {
+    let n = matrix.n_rows();
     // Build A = (P^T - I), then overwrite the last row with ones; b = e_n.
     let mut a = vec![0.0f64; n * n];
-    for (i, row) in rows.iter().enumerate() {
-        for &(j, q) in row {
+    for i in 0..n {
+        for (j, q) in matrix.row(i) {
             a[j * n + i] += q;
         }
     }
@@ -266,21 +259,18 @@ pub(crate) fn normalize(v: &mut [f64]) {
     }
 }
 
-pub(crate) fn solve(
-    rows: &[Vec<(usize, f64)>],
-    opts: &SolveOptions,
-) -> Result<Vec<f64>, SolveError> {
-    if rows.is_empty() {
+pub(crate) fn solve(matrix: &CsrMatrix, opts: &SolveOptions) -> Result<Vec<f64>, SolveError> {
+    if matrix.is_empty() {
         return Err(SolveError::EmptyChain);
     }
-    check_no_dead_ends(rows)?;
+    check_no_dead_ends(matrix)?;
     if opts.check_irreducible {
-        check_irreducible(rows)?;
+        check_irreducible(matrix)?;
     }
     match opts.method {
-        SolveMethod::PowerIteration => power_iteration(rows, opts),
-        SolveMethod::GaussSeidel => gauss_seidel(rows, opts),
-        SolveMethod::DenseLu => dense_lu(rows),
+        SolveMethod::PowerIteration => power_iteration(matrix, opts),
+        SolveMethod::GaussSeidel => gauss_seidel(matrix, opts),
+        SolveMethod::DenseLu => dense_lu(matrix),
     }
 }
 
@@ -288,13 +278,13 @@ pub(crate) fn solve(
 mod tests {
     use super::*;
 
-    fn two_state() -> Vec<Vec<(usize, f64)>> {
-        vec![vec![(0, 0.9), (1, 0.1)], vec![(0, 0.5), (1, 0.5)]]
+    fn two_state() -> CsrMatrix {
+        CsrMatrix::from_rows(&[vec![(0, 0.9), (1, 0.1)], vec![(0, 0.5), (1, 0.5)]])
     }
 
     #[test]
     fn all_methods_agree_on_two_state() {
-        let rows = two_state();
+        let matrix = two_state();
         let expected = [5.0 / 6.0, 1.0 / 6.0];
         for method in [
             SolveMethod::PowerIteration,
@@ -302,7 +292,7 @@ mod tests {
             SolveMethod::DenseLu,
         ] {
             let opts = SolveOptions::with_method(method);
-            let pi = solve(&rows, &opts).unwrap();
+            let pi = solve(&matrix, &opts).unwrap();
             for (p, e) in pi.iter().zip(expected.iter()) {
                 assert!((p - e).abs() < 1e-9, "{method:?}: {pi:?}");
             }
@@ -311,30 +301,30 @@ mod tests {
 
     #[test]
     fn dead_end_detected() {
-        let rows = vec![vec![(1, 1.0)], vec![]];
-        let err = solve(&rows, &SolveOptions::default()).unwrap_err();
+        let matrix = CsrMatrix::from_rows(&[vec![(1, 1.0)], vec![]]);
+        let err = solve(&matrix, &SolveOptions::default()).unwrap_err();
         assert_eq!(err, SolveError::DeadEndState { index: 1 });
     }
 
     #[test]
     fn reducible_detected() {
         // 0 -> 1 but 1 never returns to 0.
-        let rows = vec![vec![(1, 1.0)], vec![(1, 1.0)]];
-        let err = solve(&rows, &SolveOptions::default()).unwrap_err();
+        let matrix = CsrMatrix::from_rows(&[vec![(1, 1.0)], vec![(1, 1.0)]]);
+        let err = solve(&matrix, &SolveOptions::default()).unwrap_err();
         assert_eq!(err, SolveError::Reducible);
     }
 
     #[test]
     fn empty_chain_detected() {
-        let err = solve(&[], &SolveOptions::default()).unwrap_err();
+        let err = solve(&CsrMatrix::empty(), &SolveOptions::default()).unwrap_err();
         assert_eq!(err, SolveError::EmptyChain);
     }
 
     #[test]
     fn periodic_chain_converges_via_damping() {
         // Pure 2-cycle: power iteration oscillates without damping.
-        let rows = vec![vec![(1, 1.0)], vec![(0, 1.0)]];
-        let pi = solve(&rows, &SolveOptions::default()).unwrap();
+        let matrix = CsrMatrix::from_rows(&[vec![(1, 1.0)], vec![(0, 1.0)]]);
+        let pi = solve(&matrix, &SolveOptions::default()).unwrap();
         assert!((pi[0] - 0.5).abs() < 1e-6);
     }
 
@@ -344,8 +334,8 @@ mod tests {
         // the dense solver must either report singular or return *a*
         // stationary vector. Keep the irreducibility check on and assert
         // Reducible instead (documents the contract).
-        let rows = vec![vec![(0, 1.0)], vec![(1, 1.0)]];
-        let err = solve(&rows, &SolveOptions::with_method(SolveMethod::DenseLu)).unwrap_err();
+        let matrix = CsrMatrix::from_rows(&[vec![(0, 1.0)], vec![(1, 1.0)]]);
+        let err = solve(&matrix, &SolveOptions::with_method(SolveMethod::DenseLu)).unwrap_err();
         assert_eq!(err, SolveError::Reducible);
     }
 }

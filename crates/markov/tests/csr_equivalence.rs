@@ -1,0 +1,332 @@
+//! The CSR migration must be a pure storage change: these properties pin
+//! the CSR-backed solvers **bit-for-bit** against the pre-CSR nested-row
+//! implementations (copied verbatim below as references) on random
+//! irreducible chains. Any reordering of the floating-point arithmetic
+//! would show up here as an exact-equality failure.
+
+use proptest::prelude::*;
+
+use seleth_markov::hitting::HittingOptions;
+use seleth_markov::{ChainBuilder, Dtmc, SolveMethod, SolveOptions};
+
+type Rows = Vec<Vec<(usize, f64)>>;
+
+/// A random irreducible chain: a Hamiltonian cycle (guarantees
+/// irreducibility) plus random extra edges and self-loops.
+fn random_chain(n: usize, extra: Vec<(usize, usize, u8)>, loops: Vec<u8>) -> Dtmc<usize> {
+    let mut b = ChainBuilder::new();
+    for i in 0..n {
+        b.add_rate(i, (i + 1) % n, 1.0);
+    }
+    for (from, to, w) in extra {
+        b.add_rate(from % n, to % n, 0.1 + f64::from(w));
+    }
+    for (i, w) in loops.into_iter().enumerate().take(n) {
+        b.add_rate(i, i, f64::from(w) * 0.1);
+    }
+    b.build_dtmc()
+}
+
+fn chain_strategy() -> impl Strategy<Value = Dtmc<usize>> {
+    (2usize..25)
+        .prop_flat_map(|n| {
+            (
+                Just(n),
+                proptest::collection::vec((0usize..n, 0usize..n, 0u8..5), 0..30),
+                proptest::collection::vec(0u8..5, n),
+            )
+        })
+        .prop_map(|(n, extra, loops)| random_chain(n, extra, loops))
+}
+
+/// Recover the nested-row representation the old implementation stored
+/// (the CSR rows are column-sorted exactly like the old builder's output).
+fn nested_rows(chain: &Dtmc<usize>) -> Rows {
+    (0..chain.len())
+        .map(|i| chain.matrix().row(i).collect())
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Reference implementations: the seed's nested-row kernels, verbatim.
+// ---------------------------------------------------------------------
+
+fn normalize(v: &mut [f64]) {
+    let total: f64 = v.iter().sum();
+    if total > 0.0 {
+        for x in v {
+            *x /= total;
+        }
+    }
+}
+
+fn reference_power_iteration(rows: &Rows, opts: &SolveOptions) -> Option<Vec<f64>> {
+    let n = rows.len();
+    let mut pi = vec![1.0 / n as f64; n];
+    let mut next = vec![0.0; n];
+    for it in 0..opts.max_iterations {
+        next.iter_mut().for_each(|x| *x = 0.0);
+        for (i, row) in rows.iter().enumerate() {
+            let p = pi[i];
+            if p == 0.0 {
+                continue;
+            }
+            for &(j, q) in row {
+                next[j] += p * q;
+            }
+        }
+        normalize(&mut next);
+        let residual: f64 = pi.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
+        std::mem::swap(&mut pi, &mut next);
+        if residual < opts.tolerance {
+            return Some(pi);
+        }
+        if it % 97 == 96 {
+            for (a, b) in pi.iter_mut().zip(&next) {
+                *a = 0.5 * (*a + *b);
+            }
+            normalize(&mut pi);
+        }
+    }
+    None
+}
+
+fn reference_gauss_seidel(rows: &Rows, opts: &SolveOptions) -> Option<Vec<f64>> {
+    let n = rows.len();
+    let mut cols: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+    let mut diag = vec![0.0; n];
+    for (i, row) in rows.iter().enumerate() {
+        for &(j, q) in row {
+            if i == j {
+                diag[j] = q;
+            } else {
+                cols[j].push((i, q));
+            }
+        }
+    }
+    let mut pi = vec![1.0 / n as f64; n];
+    for _ in 0..opts.max_iterations {
+        let mut residual = 0.0;
+        for j in 0..n {
+            let incoming: f64 = cols[j].iter().map(|&(i, q)| pi[i] * q).sum();
+            let denom = 1.0 - diag[j];
+            let new = if denom > f64::EPSILON {
+                incoming / denom
+            } else {
+                pi[j]
+            };
+            residual += (new - pi[j]).abs();
+            pi[j] = new;
+        }
+        normalize(&mut pi);
+        if residual < opts.tolerance {
+            normalize(&mut pi);
+            return Some(pi);
+        }
+    }
+    None
+}
+
+fn reference_dense_lu(rows: &Rows) -> Option<Vec<f64>> {
+    let n = rows.len();
+    let mut a = vec![0.0f64; n * n];
+    for (i, row) in rows.iter().enumerate() {
+        for &(j, q) in row {
+            a[j * n + i] += q;
+        }
+    }
+    for i in 0..n {
+        a[i * n + i] -= 1.0;
+    }
+    for i in 0..n {
+        a[(n - 1) * n + i] = 1.0;
+    }
+    let mut b = vec![0.0; n];
+    b[n - 1] = 1.0;
+    for col in 0..n {
+        let (pivot_row, pivot_abs) = (col..n)
+            .map(|r| (r, a[r * n + col].abs()))
+            .max_by(|x, y| x.1.partial_cmp(&y.1).expect("finite"))
+            .expect("non-empty range");
+        if pivot_abs < 1e-300 {
+            return None;
+        }
+        if pivot_row != col {
+            for k in 0..n {
+                a.swap(pivot_row * n + k, col * n + k);
+            }
+            b.swap(pivot_row, col);
+        }
+        let pivot = a[col * n + col];
+        for r in (col + 1)..n {
+            let factor = a[r * n + col] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[r * n + k] -= factor * a[col * n + k];
+            }
+            b[r] -= factor * b[col];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in (row + 1)..n {
+            acc -= a[row * n + k] * x[k];
+        }
+        x[row] = acc / a[row * n + row];
+    }
+    for v in &mut x {
+        if *v < 0.0 && *v > -1e-9 {
+            *v = 0.0;
+        }
+    }
+    normalize(&mut x);
+    Some(x)
+}
+
+/// The seed's `expected_hitting_times` (Gauss–Seidel sweep restricted to
+/// states that can reach the target set), verbatim over nested rows.
+fn reference_hitting_times(
+    rows: &Rows,
+    is_target: &[bool],
+    opts: HittingOptions,
+) -> Option<Vec<Option<f64>>> {
+    let n = rows.len();
+    // Reverse BFS from the target set.
+    let mut reverse: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, row) in rows.iter().enumerate() {
+        for &(j, _) in row {
+            reverse[j].push(i);
+        }
+    }
+    let mut reach = vec![false; n];
+    let mut queue: std::collections::VecDeque<usize> = (0..n)
+        .filter(|&i| is_target[i])
+        .inspect(|&i| reach[i] = true)
+        .collect();
+    while let Some(i) = queue.pop_front() {
+        for &j in &reverse[i] {
+            if !reach[j] {
+                reach[j] = true;
+                queue.push_back(j);
+            }
+        }
+    }
+
+    let mut h = vec![0.0f64; n];
+    for _ in 0..opts.max_iterations {
+        let mut delta = 0.0f64;
+        for i in 0..n {
+            if is_target[i] || !reach[i] {
+                continue;
+            }
+            let mut acc = 1.0;
+            let mut self_p = 0.0;
+            for &(s, p) in &rows[i] {
+                if s == i {
+                    self_p = p;
+                } else if reach[s] && !is_target[s] {
+                    acc += p * h[s];
+                }
+                if !reach[s] && !is_target[s] && p > 0.0 {
+                    acc += p * 1e18;
+                }
+            }
+            let new = if self_p < 1.0 {
+                acc / (1.0 - self_p)
+            } else {
+                f64::INFINITY
+            };
+            delta = delta.max((new - h[i]).abs());
+            h[i] = new;
+        }
+        if delta < opts.tolerance {
+            return Some(
+                (0..n)
+                    .map(|i| {
+                        if is_target[i] {
+                            Some(0.0)
+                        } else if reach[i] && h[i] < 1e17 {
+                            Some(h[i])
+                        } else {
+                            None
+                        }
+                    })
+                    .collect(),
+            );
+        }
+    }
+    None
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Power iteration over CSR reproduces the nested-row implementation
+    /// exactly, bit for bit.
+    #[test]
+    fn power_iteration_bit_for_bit(chain in chain_strategy()) {
+        let opts = SolveOptions::with_method(SolveMethod::PowerIteration);
+        let pi = chain.stationary(opts).expect("power");
+        let want = reference_power_iteration(&nested_rows(&chain), &opts)
+            .expect("reference converges whenever the CSR solver does");
+        for (i, w) in want.iter().enumerate() {
+            prop_assert_eq!(pi.prob_at(i).to_bits(), w.to_bits(), "state {}", i);
+        }
+    }
+
+    /// Gauss–Seidel over the once-materialized CSR transpose reproduces
+    /// the nested-column implementation exactly.
+    #[test]
+    fn gauss_seidel_bit_for_bit(chain in chain_strategy()) {
+        let opts = SolveOptions::with_method(SolveMethod::GaussSeidel);
+        let pi = chain.stationary(opts).expect("gauss-seidel");
+        let want = reference_gauss_seidel(&nested_rows(&chain), &opts)
+            .expect("reference converges whenever the CSR solver does");
+        for (i, w) in want.iter().enumerate() {
+            prop_assert_eq!(pi.prob_at(i).to_bits(), w.to_bits(), "state {}", i);
+        }
+    }
+
+    /// The dense-LU fallback assembled from CSR rows reproduces the
+    /// nested-row assembly exactly.
+    #[test]
+    fn dense_lu_bit_for_bit(chain in chain_strategy()) {
+        let opts = SolveOptions::with_method(SolveMethod::DenseLu);
+        let pi = chain.stationary(opts).expect("dense lu");
+        let want = reference_dense_lu(&nested_rows(&chain))
+            .expect("reference solves whenever the CSR solver does");
+        for (i, w) in want.iter().enumerate() {
+            prop_assert_eq!(pi.prob_at(i).to_bits(), w.to_bits(), "state {}", i);
+        }
+    }
+
+    /// `expected_hitting_times` is unchanged by the CSR migration.
+    #[test]
+    fn hitting_times_bit_for_bit(chain in chain_strategy(), target_pick in 0usize..25) {
+        let n = chain.len();
+        let target = target_pick % n;
+        let h = chain
+            .expected_hitting_times(&[target], HittingOptions::default())
+            .expect("hitting times");
+        let mut is_target = vec![false; n];
+        is_target[target] = true;
+        let want = reference_hitting_times(
+            &nested_rows(&chain),
+            &is_target,
+            HittingOptions::default(),
+        )
+        .expect("reference converges whenever the CSR solver does");
+        for i in 0..n {
+            match (h[i], want[i]) {
+                (Some(a), Some(b)) => {
+                    prop_assert_eq!(a.to_bits(), b.to_bits(), "state {}", i)
+                }
+                (None, None) => {}
+                (a, b) => prop_assert!(false, "state {}: {:?} vs {:?}", i, a, b),
+            }
+        }
+    }
+}

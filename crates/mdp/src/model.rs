@@ -245,6 +245,9 @@ pub struct MdpConfig {
     pub tolerance: f64,
     /// Bisection tolerance on the optimal revenue.
     pub rho_tolerance: f64,
+    /// Worker threads for the Bellman sweeps (`0` = use
+    /// `available_parallelism`). Results are identical for every value.
+    pub threads: usize,
 }
 
 impl MdpConfig {
@@ -259,6 +262,7 @@ impl MdpConfig {
             max_len: 60,
             tolerance: 1e-9,
             rho_tolerance: 1e-6,
+            threads: 0,
         }
     }
 
@@ -272,6 +276,22 @@ impl MdpConfig {
     pub fn with_scenario(mut self, scenario: Scenario) -> Self {
         self.scenario = scenario;
         self
+    }
+
+    /// Override the Bellman-sweep worker count (`0` = auto). The solution
+    /// is identical for every thread count; this only trades wall-clock.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The effective worker count for this configuration.
+    pub(crate) fn resolved_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.threads
+        }
     }
 
     /// All outcomes of taking `action` in `state`.

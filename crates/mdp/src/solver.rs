@@ -9,8 +9,24 @@
 //! long-run average `g(ρ)` is strictly decreasing, and the optimal ratio
 //! is the root `g(ρ*) = 0`. `g(ρ)` itself is computed by relative value
 //! iteration on the unichain MDP.
+//!
+//! # Performance architecture
+//!
+//! The transition table is expanded **once per solve** into flat
+//! struct-of-arrays storage ([`ExpandedMdp`]): per outcome, `(prob,
+//! successor index, attacker reward, normalization units)`. Each ρ
+//! candidate then re-weights rewards on the fly (`w = r − ρ·units`) inside
+//! the Bellman sweep instead of rebuilding per-action outcome lists, and
+//! the value function is **warm-started across ρ iterates** (the optimal
+//! `v` moves continuously with ρ, so each bisection step starts next to
+//! its fixed point and converges in a fraction of the cold-start sweeps).
+//! Bellman sweeps and greedy-policy extraction run in parallel over
+//! contiguous state chunks; every chunk writes disjoint slots and all
+//! reductions (span seminorm, reference offset) are performed sequentially
+//! in index order, so results are bit-identical for every thread count.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -18,17 +34,52 @@ use seleth_chain::Scenario;
 
 use crate::model::{Action, Fork, MdpConfig, MdpError, MdpState};
 
+/// Don't spin up worker threads below this state count; a sweep this small
+/// is cheaper than the thread handoff.
+const PARALLEL_MIN_STATES: usize = 4096;
+
+/// Minimum slots per worker thread: the effective worker count is clamped
+/// to `n / PARALLEL_GRAIN`, so arbitrarily large `with_threads` values
+/// cannot spawn per-state threads.
+const PARALLEL_GRAIN: usize = 1024;
+
+/// The dense state enumeration of one solve, shared (via [`Arc`]) between
+/// the solver's flat tables and the policies it returns. The hash index
+/// exists only for boundary lookups ([`Policy::action`]); the numeric
+/// kernels address states by dense index.
+///
+/// Derives the serde traits so [`Policy`]'s own derive stays valid under
+/// the real `serde` too (which additionally needs its `rc` feature for the
+/// `Arc` field; see `vendor/README.md`).
+#[derive(Debug, Serialize, Deserialize)]
+struct StateSpace {
+    states: Vec<MdpState>,
+    index: HashMap<MdpState, usize>,
+}
+
+impl StateSpace {
+    fn new(states: Vec<MdpState>) -> Self {
+        let index = states.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+        StateSpace { states, index }
+    }
+}
+
 /// An optimal stationary policy: the best action per state.
+///
+/// Index-backed: actions are stored densely in state-enumeration order and
+/// the state table is shared with the solver, so constructing and cloning
+/// policies is cheap; the state → action lookup keeps its hash-map API.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Policy {
-    actions: HashMap<MdpState, Action>,
+    space: Arc<StateSpace>,
+    actions: Vec<Action>,
 }
 
 impl Policy {
     /// The optimal action in `state` (`None` for states outside the
     /// truncated space).
     pub fn action(&self, state: MdpState) -> Option<Action> {
-        self.actions.get(&state).copied()
+        self.space.index.get(&state).map(|&i| self.actions[i])
     }
 
     /// Number of states covered.
@@ -41,23 +92,33 @@ impl Policy {
         self.actions.is_empty()
     }
 
+    /// Iterate `(state, action)` pairs in dense-index order.
+    pub fn iter(&self) -> impl Iterator<Item = (MdpState, Action)> + '_ {
+        self.space
+            .states
+            .iter()
+            .copied()
+            .zip(self.actions.iter().copied())
+    }
+
     /// Fraction of states at or behind parity (`a ≤ h + 1`) in which the
     /// policy still deviates from simply adopting — a rough measure of how
     /// aggressive the optimal attacker is.
     pub fn aggression(&self) -> f64 {
-        let candidates: Vec<_> = self
-            .actions
-            .iter()
-            .filter(|(s, _)| s.a <= s.h + 1)
-            .collect();
-        if candidates.is_empty() {
+        let mut candidates = 0usize;
+        let mut deviant = 0usize;
+        for (s, a) in self.iter() {
+            if s.a <= s.h + 1 {
+                candidates += 1;
+                if !matches!(a, Action::Adopt) {
+                    deviant += 1;
+                }
+            }
+        }
+        if candidates == 0 {
             return 0.0;
         }
-        let deviant = candidates
-            .iter()
-            .filter(|(_, a)| !matches!(a, Action::Adopt))
-            .count();
-        deviant as f64 / candidates.len() as f64
+        deviant as f64 / candidates as f64
     }
 }
 
@@ -75,94 +136,217 @@ pub struct Solution {
     pub iterations: usize,
 }
 
-impl MdpConfig {
-    /// Optimal average transformed reward `g(ρ)` via relative value
-    /// iteration, plus the greedy policy achieving it.
-    fn average_reward(&self, rho: f64) -> Result<(f64, Policy, usize), MdpError> {
-        let states = self.states();
-        let index: HashMap<MdpState, usize> =
-            states.iter().enumerate().map(|(i, &s)| (s, i)).collect();
-        // Pre-expand per-action transitions with transformed rewards:
-        // per state, the legal actions with their (prob, successor index,
-        // transformed reward) outcome lists.
-        type Expanded = Vec<(Action, Vec<(f64, usize, f64)>)>;
-        let mut action_sets: Vec<Expanded> = Vec::with_capacity(states.len());
-        for &s in &states {
-            let mut acts = Vec::new();
-            for action in self.legal_actions(s) {
-                let ts: Vec<(f64, usize, f64)> = self
-                    .outcomes(s, action)
-                    .into_iter()
-                    .map(|o| {
-                        let j = *index.get(&o.next).unwrap_or_else(|| {
-                            panic!("successor {} of {s} outside the state space", o.next)
-                        });
-                        let units = match self.scenario {
-                            Scenario::RegularRate => o.regular,
-                            Scenario::RegularPlusUncleRate => o.regular + o.uncles,
-                        };
-                        (o.prob, j, o.attacker_reward - rho * units)
-                    })
-                    .collect();
-                acts.push((action, ts));
+/// The transition table of one solve, flattened into contiguous arrays.
+///
+/// Layout: state `i`'s legal actions occupy `state_ptr[i]..state_ptr[i+1]`
+/// of `actions`; action slot `k`'s outcomes occupy `out_ptr[k]..
+/// out_ptr[k+1]` of the four parallel outcome arrays. Rewards are stored
+/// *untransformed*; the ρ weighting happens inside the sweep.
+#[derive(Debug)]
+struct ExpandedMdp {
+    space: Arc<StateSpace>,
+    ref_state: usize,
+    state_ptr: Vec<usize>,
+    actions: Vec<Action>,
+    out_ptr: Vec<usize>,
+    prob: Vec<f64>,
+    succ: Vec<u32>,
+    attacker_reward: Vec<f64>,
+    units: Vec<f64>,
+}
+
+/// Reusable value-iteration buffers, retained across every ρ candidate of
+/// a solve (both the allocation and the converged values, which warm-start
+/// the next candidate).
+#[derive(Debug)]
+struct ValueWorkspace {
+    v: Vec<f64>,
+    next_v: Vec<f64>,
+}
+
+impl ValueWorkspace {
+    fn new(n: usize) -> Self {
+        ValueWorkspace {
+            v: vec![0.0; n],
+            next_v: vec![0.0; n],
+        }
+    }
+}
+
+impl ExpandedMdp {
+    /// Expand `config`'s transition table. Builds the state index (the one
+    /// hash-map construction of the whole solve) and flattens every legal
+    /// `(state, action)`'s outcomes.
+    fn build(config: &MdpConfig) -> Self {
+        let space = Arc::new(StateSpace::new(config.states()));
+        let n = space.states.len();
+        let ref_state = space.index[&MdpState::new(0, 0, Fork::Irrelevant)];
+
+        let mut state_ptr = Vec::with_capacity(n + 1);
+        state_ptr.push(0);
+        let mut actions = Vec::new();
+        let mut out_ptr = vec![0usize];
+        let mut prob = Vec::new();
+        let mut succ = Vec::new();
+        let mut attacker_reward = Vec::new();
+        let mut units = Vec::new();
+
+        for &s in &space.states {
+            let legal = config.legal_actions(s);
+            debug_assert!(!legal.is_empty(), "state {s} has no legal action");
+            for action in legal {
+                for o in config.outcomes(s, action) {
+                    let j = *space.index.get(&o.next).unwrap_or_else(|| {
+                        panic!("successor {} of {s} outside the state space", o.next)
+                    });
+                    let u = match config.scenario {
+                        Scenario::RegularRate => o.regular,
+                        Scenario::RegularPlusUncleRate => o.regular + o.uncles,
+                    };
+                    prob.push(o.prob);
+                    succ.push(u32::try_from(j).expect("state index fits u32"));
+                    attacker_reward.push(o.attacker_reward);
+                    units.push(u);
+                }
+                out_ptr.push(prob.len());
+                actions.push(action);
             }
-            debug_assert!(!acts.is_empty(), "state {s} has no legal action");
-            action_sets.push(acts);
+            state_ptr.push(actions.len());
         }
 
-        let n = states.len();
-        let ref_state = index[&MdpState::new(0, 0, Fork::Irrelevant)];
-        let mut v = vec![0.0f64; n];
-        let mut next_v = vec![0.0f64; n];
+        ExpandedMdp {
+            space,
+            ref_state,
+            state_ptr,
+            actions,
+            out_ptr,
+            prob,
+            succ,
+            attacker_reward,
+            units,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.space.states.len()
+    }
+
+    /// Best transformed action value for state `i` under candidate `rho`,
+    /// given the current value function.
+    #[inline]
+    fn best_q(&self, i: usize, rho: f64, v: &[f64]) -> (f64, Action) {
+        let mut best = f64::NEG_INFINITY;
+        let mut best_action = Action::Adopt;
+        for k in self.state_ptr[i]..self.state_ptr[i + 1] {
+            let mut q = 0.0;
+            for t in self.out_ptr[k]..self.out_ptr[k + 1] {
+                let w = self.attacker_reward[t] - rho * self.units[t];
+                q += self.prob[t] * (w + v[self.succ[t] as usize]);
+            }
+            if q > best {
+                best = q;
+                best_action = self.actions[k];
+            }
+        }
+        (best, best_action)
+    }
+
+    /// Fill `out[i] = f(i)` for every slot, in parallel chunks. Chunk
+    /// boundaries only decide which thread computes which slot, never the
+    /// arithmetic, so the result is deterministic for any `threads`. The
+    /// worker count is clamped so every thread owns at least
+    /// [`PARALLEL_GRAIN`] slots — oversized `with_threads` values degrade
+    /// to fewer workers instead of spawning per-state threads.
+    fn par_fill<T: Send>(out: &mut [T], threads: usize, f: impl Fn(usize) -> T + Sync) {
+        let n = out.len();
+        let threads = threads.min(n.div_ceil(PARALLEL_GRAIN)).max(1);
+        if threads <= 1 || n < PARALLEL_MIN_STATES {
+            for (i, slot) in out.iter_mut().enumerate() {
+                *slot = f(i);
+            }
+            return;
+        }
+        let chunk = n.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (ci, chunk_out) in out.chunks_mut(chunk).enumerate() {
+                let start = ci * chunk;
+                let f = &f;
+                scope.spawn(move || {
+                    for (k, slot) in chunk_out.iter_mut().enumerate() {
+                        *slot = f(start + k);
+                    }
+                });
+            }
+        });
+    }
+
+    /// One Bellman sweep: `next_v[i] = max_a Q(i, a)` for every state.
+    fn bellman_sweep(&self, rho: f64, v: &[f64], next_v: &mut [f64], threads: usize) {
+        Self::par_fill(next_v, threads, |i| self.best_q(i, rho, v).0);
+    }
+
+    /// Optimal average transformed reward `g(ρ)` via relative value
+    /// iteration, warm-started from (and leaving its converged values in)
+    /// `ws.v`. Returns `(g, sweeps)`.
+    ///
+    /// With `sign_only`, iteration stops as soon as the sign of `g(ρ)` is
+    /// certain: every sweep's Bellman-update differences bound the optimal
+    /// gain (`min_d ≤ g ≤ max_d`, the classic value-iteration sandwich for
+    /// unichain MDPs), so once the whole interval clears zero the returned
+    /// midpoint carries the exact sign — which is all a bisection step
+    /// needs. Candidates far from the root resolve in a handful of sweeps.
+    fn optimal_average(
+        &self,
+        rho: f64,
+        tolerance: f64,
+        threads: usize,
+        sign_only: bool,
+        ws: &mut ValueWorkspace,
+    ) -> Result<(f64, usize), MdpError> {
+        let n = self.len();
         let max_sweeps = 200_000;
         for sweep in 0..max_sweeps {
-            for i in 0..n {
-                let mut best = f64::NEG_INFINITY;
-                for (_, ts) in &action_sets[i] {
-                    let mut q = 0.0;
-                    for &(p, j, w) in ts {
-                        q += p * (w + v[j]);
-                    }
-                    if q > best {
-                        best = q;
-                    }
-                }
-                next_v[i] = best;
-            }
-            // Span seminorm of the Bellman update.
+            self.bellman_sweep(rho, &ws.v, &mut ws.next_v, threads);
+            // Span seminorm of the Bellman update; sequential index-order
+            // reduction keeps it deterministic under any thread count.
             let mut min_d = f64::INFINITY;
             let mut max_d = f64::NEG_INFINITY;
             for i in 0..n {
-                let d = next_v[i] - v[i];
+                let d = ws.next_v[i] - ws.v[i];
                 min_d = min_d.min(d);
                 max_d = max_d.max(d);
             }
-            let offset = next_v[ref_state];
+            let offset = ws.next_v[self.ref_state];
             for i in 0..n {
-                v[i] = next_v[i] - offset;
+                ws.v[i] = ws.next_v[i] - offset;
             }
-            if max_d - min_d < self.tolerance {
-                let g = 0.5 * (max_d + min_d);
-                let mut actions = HashMap::with_capacity(n);
-                for i in 0..n {
-                    let mut best = f64::NEG_INFINITY;
-                    let mut best_action = Action::Adopt;
-                    for &(action, ref ts) in &action_sets[i] {
-                        let q: f64 = ts.iter().map(|&(p, j, w)| p * (w + v[j])).sum();
-                        if q > best {
-                            best = q;
-                            best_action = action;
-                        }
-                    }
-                    actions.insert(states[i], best_action);
-                }
-                return Ok((g, Policy { actions }, sweep + 1));
+            if sign_only && (min_d > 0.0 || max_d < 0.0) {
+                return Ok((0.5 * (max_d + min_d), sweep + 1));
+            }
+            if max_d - min_d < tolerance {
+                return Ok((0.5 * (max_d + min_d), sweep + 1));
             }
         }
         Err(MdpError::NotConverged)
     }
 
+    /// Extract the greedy policy for `rho` from the converged values
+    /// (deterministic: ties break by action-enumeration order in every
+    /// chunking).
+    fn greedy_policy(&self, rho: f64, v: &[f64], threads: usize) -> Vec<Action> {
+        let mut actions = vec![Action::Adopt; self.len()];
+        Self::par_fill(&mut actions, threads, |i| self.best_q(i, rho, v).1);
+        actions
+    }
+}
+
+impl MdpConfig {
     /// Solve for the attacker's optimal revenue and policy.
+    ///
+    /// The transition table is expanded once; each Dinkelbach bisection
+    /// step re-weights it on the fly and warm-starts relative value
+    /// iteration from the previous candidate's fixed point. The reported
+    /// policy is the greedy policy at the solved revenue.
     ///
     /// # Errors
     ///
@@ -171,32 +355,87 @@ impl MdpConfig {
     /// - [`MdpError::NotConverged`] if value iteration stalls.
     pub fn solve(&self) -> Result<Solution, MdpError> {
         self.validate()?;
+        let threads = self.resolved_threads();
+        let expanded = ExpandedMdp::build(self);
+        let mut ws = ValueWorkspace::new(expanded.len());
         // Us ≤ static + uncle + nephew per regular block < 2 comfortably.
         let mut lo = 0.0f64;
         let mut hi = 2.0f64;
         let mut iterations = 0usize;
-        let mut last = None;
         while hi - lo > self.rho_tolerance {
             let mid = 0.5 * (lo + hi);
-            let (g, policy, sweeps) = self.average_reward(mid)?;
+            let (g, sweeps) =
+                expanded.optimal_average(mid, self.tolerance, threads, true, &mut ws)?;
             iterations += sweeps;
             if g > 0.0 {
                 lo = mid;
             } else {
                 hi = mid;
             }
-            last = Some(policy);
         }
         let revenue = 0.5 * (lo + hi);
-        let policy = match last {
-            Some(p) => p,
-            None => self.average_reward(revenue)?.1,
-        };
+        // One more full-tolerance evaluation at the solved revenue (cheap:
+        // warm-started) so the reported policy is greedy at ρ*, not at the
+        // last bisection midpoint.
+        let (_, sweeps) =
+            expanded.optimal_average(revenue, self.tolerance, threads, false, &mut ws)?;
+        iterations += sweeps;
+        let actions = expanded.greedy_policy(revenue, &ws.v, threads);
         Ok(Solution {
             revenue,
-            policy,
+            policy: Policy {
+                space: expanded.space.clone(),
+                actions,
+            },
             iterations,
         })
+    }
+
+    /// Legacy solver kept for benchmarking the single-expansion layout:
+    /// re-expands the transition table, cold-starts the value function and
+    /// rebuilds the policy on **every** ρ candidate, exactly like the
+    /// pre-CSR implementation. Produces the same revenue as
+    /// [`MdpConfig::solve`]. Do not use outside benchmarks.
+    ///
+    /// # Errors
+    ///
+    /// As [`MdpConfig::solve`].
+    #[doc(hidden)]
+    pub fn solve_reexpanding(&self) -> Result<Solution, MdpError> {
+        self.validate()?;
+        let threads = self.resolved_threads();
+        let mut lo = 0.0f64;
+        let mut hi = 2.0f64;
+        let mut iterations = 0usize;
+        let mut last: Option<Solution> = None;
+        while hi - lo > self.rho_tolerance {
+            let mid = 0.5 * (lo + hi);
+            // The legacy behaviour under benchmark: full re-expansion and a
+            // cold-started value function per candidate.
+            let expanded = ExpandedMdp::build(self);
+            let mut ws = ValueWorkspace::new(expanded.len());
+            let (g, sweeps) =
+                expanded.optimal_average(mid, self.tolerance, threads, false, &mut ws)?;
+            iterations += sweeps;
+            let actions = expanded.greedy_policy(mid, &ws.v, threads);
+            if g > 0.0 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+            last = Some(Solution {
+                revenue: 0.5 * (lo + hi),
+                policy: Policy {
+                    space: expanded.space.clone(),
+                    actions,
+                },
+                iterations,
+            });
+        }
+        let mut solution = last.expect("bisection runs at least once");
+        solution.revenue = 0.5 * (lo + hi);
+        solution.iterations = iterations;
+        Ok(solution)
     }
 }
 
@@ -342,5 +581,60 @@ mod tests {
         assert!(MdpConfig::new(0.3, 2.0, RewardModel::Bitcoin)
             .solve()
             .is_err());
+    }
+
+    #[test]
+    fn thread_count_never_changes_solution() {
+        // The parallel Bellman sweep partitions states but never reorders
+        // arithmetic: revenue, sweep counts and the full policy must be
+        // identical for every worker count.
+        let base = MdpConfig::new(0.38, 0.4, RewardModel::EthereumApprox).with_max_len(16);
+        let reference = base.with_threads(1).solve().unwrap();
+        for threads in [2, 3, 8] {
+            let parallel = base.with_threads(threads).solve().unwrap();
+            assert_eq!(reference.revenue, parallel.revenue, "threads={threads}");
+            assert_eq!(
+                reference.iterations, parallel.iterations,
+                "threads={threads}"
+            );
+            let same = reference
+                .policy
+                .iter()
+                .zip(parallel.policy.iter())
+                .all(|((s1, a1), (s2, a2))| s1 == s2 && a1 == a2);
+            assert!(same, "policy differs at threads={threads}");
+        }
+    }
+
+    #[test]
+    fn reexpanding_solver_matches_fast_path() {
+        // The legacy-layout benchmark reference must agree on the solved
+        // revenue to bisection precision (both bisect the same g(ρ)).
+        let config = MdpConfig::new(0.33, 0.5, RewardModel::Bitcoin).with_max_len(20);
+        let fast = config.solve().unwrap();
+        let slow = config.solve_reexpanding().unwrap();
+        assert!(
+            (fast.revenue - slow.revenue).abs() < 1e-9,
+            "fast {} vs legacy {}",
+            fast.revenue,
+            slow.revenue
+        );
+        // Warm-starting must save sweeps, not just wall-clock.
+        assert!(
+            fast.iterations < slow.iterations,
+            "warm start used {} sweeps vs {}",
+            fast.iterations,
+            slow.iterations
+        );
+    }
+
+    #[test]
+    fn policy_lookup_outside_space_is_none() {
+        let s = solve(0.3, 0.5, RewardModel::Bitcoin);
+        assert_eq!(
+            s.policy.action(MdpState::new(900, 0, Fork::Irrelevant)),
+            None
+        );
+        assert_eq!(s.policy.len(), s.policy.iter().count());
     }
 }

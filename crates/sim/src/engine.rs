@@ -73,6 +73,27 @@ impl Simulation {
         &self.config
     }
 
+    /// Re-arm this simulation for a fresh run under `config`, recycling the
+    /// block-tree arena and bookkeeping vectors.
+    ///
+    /// Produces a state indistinguishable from `Simulation::new(config)`
+    /// (same RNG stream, same empty tree) without reallocating, which is
+    /// what lets [`crate::multi::run_many`] reuse one engine per worker
+    /// across many seeds.
+    pub fn reset(&mut self, config: SimConfig) {
+        self.rng = ChaCha12Rng::seed_from_u64(config.seed());
+        self.config = config;
+        self.tree.reset();
+        self.published.clear();
+        self.published.push(true); // genesis
+        self.fork_base = self.tree.genesis();
+        self.private.clear();
+        self.published_count = 0;
+        self.honest_branch.clear();
+        self.blocks_mined = 0;
+        self.state_visits.clear();
+    }
+
     /// The current `(Ls, Lh)` state, for inspection and testing.
     pub fn state(&self) -> (u32, u32) {
         (self.private.len() as u32, self.honest_branch.len() as u32)
@@ -90,10 +111,16 @@ impl Simulation {
 
     /// Run to the configured block budget and produce the report.
     pub fn run(mut self) -> SimReport {
+        self.run_in_place()
+    }
+
+    /// As [`Simulation::run`], but borrowing: afterwards the engine can be
+    /// [`Simulation::reset`] and reused for another run.
+    pub fn run_in_place(&mut self) -> SimReport {
         while self.blocks_mined < self.config.blocks() {
             self.step();
         }
-        self.finalize()
+        self.finalize_in_place()
     }
 
     /// Mine exactly one block (pool with probability `α`, honest
@@ -116,12 +143,16 @@ impl Simulation {
     /// Finish: publish any remaining private blocks (what the pool would do
     /// when it stops attacking) and account the tree.
     pub fn finalize(mut self) -> SimReport {
+        self.finalize_in_place()
+    }
+
+    fn finalize_in_place(&mut self) -> SimReport {
         self.publish_all_private();
         SimReport::from_simulation(
             &self.config,
             &self.tree,
             self.blocks_mined,
-            self.state_visits,
+            std::mem::take(&mut self.state_visits),
         )
     }
 

@@ -1,8 +1,16 @@
 //! Multi-run orchestration: the paper averages 10 independent runs of
 //! 100,000 blocks each (Section V); this module runs seeds in parallel and
 //! aggregates the reports.
+//!
+//! Each run `k` is an independent simulation seeded `base_seed + k`, so the
+//! reports are a pure function of the configuration: the thread count only
+//! decides which worker executes which seed, never the result. Workers pull
+//! run indices from a shared queue (no up-front chunking, so any
+//! `runs`/`threads` ratio stays fully utilized) and recycle one
+//! [`Simulation`] engine — block-tree arena included — across all the runs
+//! they execute.
 
-use crossbeam::thread;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use seleth_chain::Scenario;
 
@@ -13,38 +21,98 @@ use crate::stats::SimReport;
 /// Run `runs` independent simulations (seeds `base_seed..base_seed+runs`)
 /// in parallel and collect the reports in seed order.
 ///
+/// Uses up to `available_parallelism` threads; see
+/// [`run_many_with_threads`] for an explicit thread count. Results are
+/// identical for every thread count.
+///
 /// # Panics
 ///
 /// Panics if a worker thread panics (a bug in the simulator, not a
 /// recoverable condition).
 pub fn run_many(config: &SimConfig, runs: u64) -> Vec<SimReport> {
+    run_many_with_threads(config, runs, 0)
+}
+
+/// As [`run_many`], with an explicit worker count (`0` = use
+/// `available_parallelism`). Reports depend only on `config` and `runs`,
+/// never on `threads`.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics.
+pub fn run_many_with_threads(config: &SimConfig, runs: u64, threads: usize) -> Vec<SimReport> {
     let base = config.seed();
-    let threads = std::thread::available_parallelism()
-        .map_or(4, |n| n.get())
-        .min(runs as usize);
-    if runs <= 1 || threads <= 1 {
+    if runs == 0 {
+        return Vec::new();
+    }
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map_or(4, |n| n.get())
+    } else {
+        threads
+    }
+    .min(usize::try_from(runs).unwrap_or(usize::MAX))
+    .max(1);
+
+    if threads == 1 {
+        let mut engine: Option<Simulation> = None;
         return (0..runs)
-            .map(|k| Simulation::new(config.with_seed(base + k)).run())
+            .map(|k| {
+                let run_config = config.with_seed(base + k);
+                match engine.as_mut() {
+                    Some(sim) => {
+                        sim.reset(run_config);
+                        sim.run_in_place()
+                    }
+                    None => {
+                        let mut sim = Simulation::new(run_config);
+                        let report = sim.run_in_place();
+                        engine = Some(sim);
+                        report
+                    }
+                }
+            })
             .collect();
     }
+
+    let next = AtomicU64::new(0);
     let mut reports: Vec<Option<SimReport>> = (0..runs).map(|_| None).collect();
-    thread::scope(|scope| {
-        for (chunk_idx, chunk) in reports
-            .chunks_mut(runs.div_ceil(threads as u64) as usize)
-            .enumerate()
-        {
-            let config = config.clone();
-            let chunk_len = chunk.len();
-            let start = chunk_idx * chunk_len;
-            scope.spawn(move |_| {
-                for (i, slot) in chunk.iter_mut().enumerate() {
-                    let seed = base + (start + i) as u64;
-                    *slot = Some(Simulation::new(config.with_seed(seed)).run());
-                }
-            });
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let next = &next;
+                scope.spawn(move || {
+                    let mut produced: Vec<(u64, SimReport)> = Vec::new();
+                    let mut engine: Option<Simulation> = None;
+                    loop {
+                        let k = next.fetch_add(1, Ordering::Relaxed);
+                        if k >= runs {
+                            break;
+                        }
+                        let run_config = config.with_seed(base + k);
+                        let report = match engine.as_mut() {
+                            Some(sim) => {
+                                sim.reset(run_config);
+                                sim.run_in_place()
+                            }
+                            None => {
+                                let mut sim = Simulation::new(run_config);
+                                let report = sim.run_in_place();
+                                engine = Some(sim);
+                                report
+                            }
+                        };
+                        produced.push((k, report));
+                    }
+                    produced
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (k, report) in handle.join().expect("simulation worker panicked") {
+                reports[usize::try_from(k).expect("run index fits usize")] = Some(report);
+            }
         }
-    })
-    .expect("simulation worker panicked");
+    });
     reports
         .into_iter()
         .map(|r| r.expect("all slots filled"))
@@ -140,6 +208,66 @@ mod tests {
         for (s, p) in seq.iter().zip(par.iter()) {
             assert_eq!(s.pool.total(), p.pool.total());
             assert_eq!(s.reward_report.regular_count, p.reward_report.regular_count);
+        }
+    }
+
+    #[test]
+    fn thread_count_never_changes_results() {
+        // Regression test for the chunked scheduler this module used to
+        // have: per-seed results must be a pure function of the config,
+        // bit-for-bit, whatever the worker count — including worker counts
+        // exceeding the run count (the old degenerate-partition case).
+        let c = config(2_000);
+        let runs = 5;
+        let reference = run_many_with_threads(&c, runs, 1);
+        for threads in [2, 3, 8, 64] {
+            let parallel = run_many_with_threads(&c, runs, threads);
+            assert_eq!(parallel.len(), reference.len());
+            for (r, p) in reference.iter().zip(parallel.iter()) {
+                assert_eq!(r.pool.total(), p.pool.total(), "threads={threads}");
+                assert_eq!(r.honest.total(), p.honest.total(), "threads={threads}");
+                assert_eq!(
+                    r.reward_report.regular_count, p.reward_report.regular_count,
+                    "threads={threads}"
+                );
+                assert_eq!(
+                    r.reward_report.uncle_count, p.reward_report.uncle_count,
+                    "threads={threads}"
+                );
+                assert_eq!(r.state_visits, p.state_visits, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn fewer_runs_than_threads() {
+        // runs < threads used to yield degenerate chunk partitions; the
+        // work queue must handle it and still return every report in seed
+        // order.
+        let c = config(500);
+        let reports = run_many_with_threads(&c, 2, 16);
+        assert_eq!(reports.len(), 2);
+        let solo: Vec<SimReport> = (0..2)
+            .map(|k| Simulation::new(c.with_seed(100 + k)).run())
+            .collect();
+        for (a, b) in reports.iter().zip(solo.iter()) {
+            assert_eq!(a.pool.total(), b.pool.total());
+        }
+    }
+
+    #[test]
+    fn engine_reuse_matches_fresh_engines() {
+        // The sequential path recycles one engine across seeds; recycling
+        // must be observationally identical to constructing fresh engines.
+        let c = config(1_500);
+        let recycled = run_many_with_threads(&c, 3, 1);
+        let fresh: Vec<SimReport> = (0..3)
+            .map(|k| Simulation::new(c.with_seed(100 + k)).run())
+            .collect();
+        for (a, b) in recycled.iter().zip(fresh.iter()) {
+            assert_eq!(a.pool.total(), b.pool.total());
+            assert_eq!(a.reward_report.regular_count, b.reward_report.regular_count);
+            assert_eq!(a.state_visits, b.state_visits);
         }
     }
 

@@ -1,0 +1,294 @@
+//! Vendored wall-clock benchmarking subset of `criterion`.
+//!
+//! Implements the API surface this workspace's benches use — `Criterion`,
+//! benchmark groups, `Bencher::iter`, `BenchmarkId`, `Throughput`, and the
+//! `criterion_group!`/`criterion_main!` macros — with a simple timing loop:
+//! per sample, the measured closure is batched until it exceeds a minimum
+//! measurable duration, and the mean/min per-iteration wall time over
+//! `sample_size` samples is printed. When run under `cargo test` (bench
+//! targets default to `test = true`), pass `--test` to skip measurement.
+//! See `vendor/README.md`.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` for API compatibility.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    /// `--test` mode: run each closure once, skip timing.
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            sample_size: 100,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmark a single function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.sample_size, self.test_mode, |b| f(b));
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// Throughput annotation for a group; reported alongside timings.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for a parameterized benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id carrying both a function name and a parameter.
+    pub fn new(function_name: &str, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+
+    /// An id naming only the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmark a closure under `name` within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{name}", self.name);
+        let per_iter = run_one(
+            &full,
+            self.criterion.sample_size,
+            self.criterion.test_mode,
+            |b| f(b),
+        );
+        self.report_throughput(per_iter);
+        self
+    }
+
+    /// Benchmark a closure that receives a borrowed input value.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{id}", self.name);
+        let per_iter = run_one(
+            &full,
+            self.criterion.sample_size,
+            self.criterion.test_mode,
+            |b| f(b, input),
+        );
+        self.report_throughput(per_iter);
+        self
+    }
+
+    /// Finish the group (no-op beyond upstream API compatibility).
+    pub fn finish(self) {}
+
+    fn report_throughput(&self, per_iter: Option<Duration>) {
+        let (Some(t), Some(per_iter)) = (self.throughput, per_iter) else {
+            return;
+        };
+        let secs = per_iter.as_secs_f64().max(1e-12);
+        match t {
+            Throughput::Elements(n) => {
+                println!("{:>24} {:.3} Kelem/s", "", n as f64 / secs / 1e3);
+            }
+            Throughput::Bytes(n) => {
+                println!("{:>24} {:.3} MiB/s", "", n as f64 / secs / 1024.0 / 1024.0);
+            }
+        }
+    }
+}
+
+/// The measurement handle passed to benchmark closures.
+pub struct Bencher {
+    /// Mean per-iteration duration across samples.
+    result: Option<Duration>,
+    /// Fastest per-iteration sample.
+    best: Option<Duration>,
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Bencher {
+    /// Time `f`, batching iterations until each sample is long enough to
+    /// measure reliably.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            std_black_box(f());
+            self.result = Some(Duration::ZERO);
+            return;
+        }
+        // Calibrate: batch until one sample exceeds ~5 ms.
+        let mut iters_per_sample = 1u64;
+        let min_sample = Duration::from_millis(5);
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                std_black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= min_sample || iters_per_sample >= 1 << 20 {
+                break;
+            }
+            // Grow toward the target with headroom.
+            let factor = (min_sample.as_secs_f64() / elapsed.as_secs_f64().max(1e-9))
+                .ceil()
+                .min(1024.0) as u64;
+            iters_per_sample = (iters_per_sample * factor.max(2)).min(1 << 20);
+        }
+
+        let mut best = Duration::MAX;
+        let mut total = Duration::ZERO;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                std_black_box(f());
+            }
+            let elapsed = start.elapsed();
+            total += elapsed;
+            best = best.min(elapsed);
+        }
+        let denom = iters_per_sample.max(1) as u32;
+        let mean = total / (self.sample_size as u32) / denom;
+        self.result = Some(mean);
+        self.best = Some(best / denom);
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    name: &str,
+    sample_size: usize,
+    test_mode: bool,
+    mut f: F,
+) -> Option<Duration> {
+    let mut bencher = Bencher {
+        result: None,
+        best: None,
+        sample_size,
+        test_mode,
+    };
+    f(&mut bencher);
+    if test_mode {
+        println!("test-mode {name}: ok");
+        return None;
+    }
+    match (bencher.result, bencher.best) {
+        (Some(mean), Some(best)) => {
+            println!(
+                "bench {name:<48} mean {:>12} min {:>12} ({} samples)",
+                format_duration(mean),
+                format_duration(best),
+                sample_size
+            );
+            Some(mean)
+        }
+        _ => {
+            println!("bench {name}: closure never called Bencher::iter");
+            None
+        }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Declare a benchmark group runner function, mirroring upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declare the bench binary's `main`, mirroring upstream.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,116 @@
+//! Vendored property-testing subset of `proptest`.
+//!
+//! Implements the slice of the proptest API this workspace's test suites
+//! use: the [`strategy::Strategy`] trait with `prop_map`/`prop_flat_map`,
+//! range/tuple/`Just`/`any` strategies, [`collection::vec`], the
+//! [`proptest!`]/[`prop_assert!`]/[`prop_assert_eq!`]/[`prop_assume!`]/
+//! [`prop_oneof!`] macros and a deterministic case runner. Cases are
+//! generated from a ChaCha12 stream seeded by the test name, so failures
+//! reproduce exactly; there is no shrinking. See `vendor/README.md`.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Generate arbitrary values of `T` (full-range for the integer types the
+/// workspace tests use).
+pub fn any<T: strategy::Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// The core macro: declares property tests over named strategies.
+///
+/// Supports the `#![proptest_config(...)]` inner attribute and any number
+/// of `fn name(binding in strategy, ...) { body }` items carrying their own
+/// outer attributes (including `#[test]`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident ( $( $arg:pat in $strat:expr ),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $cfg;
+                $crate::test_runner::run_cases(&__config, stringify!($name), |__rng| {
+                    $( let $arg = $crate::strategy::Strategy::gen(&($strat), __rng); )+
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+}
+
+/// Assert a condition inside a [`proptest!`] body; failure reports the
+/// formatted message and fails the test case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Assert equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {} ({:?} vs {:?})",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)+);
+    }};
+}
+
+/// Discard the current case (not counted as a failure) when a precondition
+/// does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+/// Choose uniformly among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::BoxedStrategy::new($strat) ),+
+        ])
+    };
+}

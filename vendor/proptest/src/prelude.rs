@@ -1,0 +1,6 @@
+//! One-stop imports mirroring `proptest::prelude`.
+
+pub use crate::any;
+pub use crate::strategy::{Arbitrary, BoxedStrategy, Just, Strategy};
+pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult, TestRng};
+pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};

@@ -1,0 +1,216 @@
+//! Strategies: composable random-value generators.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+use rand::{Rng as _, RngCore as _};
+
+use crate::test_runner::TestRng;
+
+/// A generator of test-case values. Unlike upstream proptest there is no
+/// value tree: strategies generate directly and nothing shrinks.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn gen(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate a value, then generate from the strategy `f` derives
+    /// from it.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy::new(self)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn gen(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.gen(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn gen(&self, rng: &mut TestRng) -> Self::Value {
+        (self.f)(self.inner.gen(rng)).gen(rng)
+    }
+}
+
+/// A strategy that always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn gen(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn gen(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn gen(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+);)*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn gen(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.gen(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A: 0, B: 1);
+    (A: 0, B: 1, C: 2);
+    (A: 0, B: 1, C: 2, D: 3);
+    (A: 0, B: 1, C: 2, D: 3, E: 4);
+}
+
+/// Types with a canonical full-range strategy (the workspace's `any::<T>()`
+/// surface).
+pub trait Arbitrary: Sized {
+    /// The strategy [`crate::any`] returns.
+    type Strategy: Strategy<Value = Self>;
+    /// Build the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Full-range generator behind [`crate::any`].
+pub struct Any<T>(PhantomData<T>);
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty => $method:ident),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn gen(&self, rng: &mut TestRng) -> $t {
+                rng.$method() as $t
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = Any<$t>;
+            fn arbitrary() -> Any<$t> {
+                Any(PhantomData)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8 => next_u32, u16 => next_u32, u32 => next_u32, u64 => next_u64, usize => next_u64);
+
+impl Arbitrary for bool {
+    type Strategy = Any<bool>;
+    fn arbitrary() -> Any<bool> {
+        Any(PhantomData)
+    }
+}
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn gen(&self, rng: &mut TestRng) -> bool {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+/// Object-safe strategy wrapper used by [`BoxedStrategy`].
+trait DynStrategy<T> {
+    fn gen_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn gen_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.gen(rng)
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn DynStrategy<T>>);
+
+impl<T> BoxedStrategy<T> {
+    /// Erase `strategy`.
+    pub fn new<S: Strategy<Value = T> + 'static>(strategy: S) -> Self {
+        BoxedStrategy(Box::new(strategy))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn gen(&self, rng: &mut TestRng) -> T {
+        self.0.gen_dyn(rng)
+    }
+}
+
+/// Uniform choice among boxed strategies; built by [`crate::prop_oneof!`].
+pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+impl<T> Union<T> {
+    /// Wrap the given alternatives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union(options)
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn gen(&self, rng: &mut TestRng) -> T {
+        let i = rng.gen_range(0..self.0.len());
+        self.0[i].gen(rng)
+    }
+}

@@ -1,0 +1,105 @@
+//! The deterministic case runner.
+
+use rand_chacha::rand_core::{RngCore, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+
+/// Configuration for a [`crate::proptest!`] block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of (non-rejected) cases to run per property.
+    pub cases: u32,
+    /// Give up after this many rejected cases.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases, other fields default.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// A `prop_assume!` precondition failed: skip, don't fail.
+    Reject(String),
+    /// A `prop_assert!`-family assertion failed.
+    Fail(String),
+}
+
+/// Result type of a generated test-case closure.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// The RNG driving strategy generation: a ChaCha12 stream seeded from the
+/// test name, so every run of a given property generates the same cases.
+#[derive(Debug, Clone)]
+pub struct TestRng(ChaCha12Rng);
+
+impl TestRng {
+    fn for_test(name: &str) -> Self {
+        // FNV-1a over the test name: stable, collision-tolerant (a
+        // collision only means two properties share a stream).
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(ChaCha12Rng::seed_from_u64(hash))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.0.fill_bytes(dest)
+    }
+}
+
+/// Run `config.cases` cases of `f`, panicking on the first failure.
+///
+/// # Panics
+///
+/// Panics when a case fails (with its case number and message) or when too
+/// many consecutive cases are rejected.
+pub fn run_cases(
+    config: &ProptestConfig,
+    test_name: &str,
+    f: impl Fn(&mut TestRng) -> TestCaseResult,
+) {
+    let mut rng = TestRng::for_test(test_name);
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    while passed < config.cases {
+        match f(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(cond)) => {
+                rejected += 1;
+                assert!(
+                    rejected <= config.max_global_rejects,
+                    "property {test_name}: too many prop_assume! rejections (last: {cond})"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("property {test_name} failed at case {passed}: {msg}")
+            }
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Vendored ChaCha12-based RNG. A real ChaCha stream cipher core (12
+//! rounds), but seeded via `rand_core`'s SplitMix64 `seed_from_u64`, so
+//! streams are deterministic within this workspace yet not byte-compatible
+//! with upstream `rand_chacha`. See `vendor/README.md`.
+
+#![forbid(unsafe_code)]
+
+pub use rand_core;
+
+use rand_core::{RngCore, SeedableRng};
+
+/// A ChaCha stream with 12 rounds, exposed as an RNG.
+#[derive(Debug, Clone)]
+pub struct ChaCha12Rng {
+    /// Cipher input state: constants, 32-byte key, 64-bit counter, 64-bit
+    /// nonce (zero).
+    state: [u32; 16],
+    /// Current 64-byte output block as sixteen words.
+    block: [u32; 16],
+    /// Next unread word of `block`; 16 means exhausted.
+    word_pos: usize,
+}
+
+const CHACHA_CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+const ROUNDS: usize = 12;
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha12Rng {
+    fn refill(&mut self) {
+        let mut working = self.state;
+        for _ in 0..ROUNDS / 2 {
+            // Column round.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, (w, s)) in self
+            .block
+            .iter_mut()
+            .zip(working.iter().zip(self.state.iter()))
+        {
+            *out = w.wrapping_add(*s);
+        }
+        // 64-bit block counter in words 12..14.
+        let counter = (u64::from(self.state[13]) << 32 | u64::from(self.state[12])).wrapping_add(1);
+        self.state[12] = counter as u32;
+        self.state[13] = (counter >> 32) as u32;
+        self.word_pos = 0;
+    }
+}
+
+impl SeedableRng for ChaCha12Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CHACHA_CONSTANTS);
+        for (i, chunk) in seed.chunks_exact(4).enumerate() {
+            state[4 + i] = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        // Words 12..16 (counter + nonce) start at zero.
+        ChaCha12Rng {
+            state,
+            block: [0; 16],
+            word_pos: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha12Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.word_pos >= 16 {
+            self.refill();
+        }
+        let w = self.block[self.word_pos];
+        self.word_pos += 1;
+        w
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = u64::from(self.next_u32());
+        let hi = u64::from(self.next_u32());
+        hi << 32 | lo
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(4) {
+            let word = self.next_u32().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha12Rng::seed_from_u64(7);
+        let mut b = ChaCha12Rng::seed_from_u64(7);
+        let mut c = ChaCha12Rng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..64).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn counter_advances_across_blocks() {
+        // 16 words per block; draw three blocks' worth and check no cycle.
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        let first: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        let second: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        assert_ne!(first, second);
+    }
+
+    #[test]
+    fn rfc8439_style_known_state_changes() {
+        // Smoke test: all-zero seed produces a non-trivial, stable stream.
+        let mut rng = ChaCha12Rng::from_seed([0u8; 32]);
+        let a = rng.next_u32();
+        let b = rng.next_u32();
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+        // Re-creating reproduces it exactly.
+        let mut rng2 = ChaCha12Rng::from_seed([0u8; 32]);
+        assert_eq!(rng2.next_u32(), a);
+    }
+
+    #[test]
+    fn fill_bytes_matches_words() {
+        let mut a = ChaCha12Rng::seed_from_u64(3);
+        let mut b = ChaCha12Rng::seed_from_u64(3);
+        let mut buf = [0u8; 8];
+        a.fill_bytes(&mut buf);
+        let w0 = b.next_u32().to_le_bytes();
+        let w1 = b.next_u32().to_le_bytes();
+        assert_eq!(&buf[..4], &w0);
+        assert_eq!(&buf[4..], &w1);
+    }
+}

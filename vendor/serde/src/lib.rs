@@ -1,0 +1,19 @@
+//! Vendored marker-trait subset of `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its public data types
+//! as part of their API contract, but nothing in-tree actually serializes
+//! through serde (experiment binaries write CSV/JSON by hand). This subset
+//! keeps the derives compiling in the offline build environment: the traits
+//! are markers and the derive macros emit empty impls. Swapping in the real
+//! `serde` restores full functionality without any source change.
+//! See `vendor/README.md`.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,51 @@
+//! Derive macros for the vendored `serde` marker traits: each derive emits
+//! an empty impl of the corresponding marker. Supports plain (non-generic)
+//! structs and enums, which covers every derive site in the workspace.
+//! See `vendor/README.md`.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extract the type name following the `struct`/`enum`/`union` keyword,
+/// skipping attributes and visibility modifiers.
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(ident) = &tt {
+            let word = ident.to_string();
+            if word == "struct" || word == "enum" || word == "union" {
+                match tokens.next() {
+                    Some(TokenTree::Ident(name)) => {
+                        if let Some(TokenTree::Punct(p)) = tokens.next() {
+                            assert!(
+                                p.as_char() != '<',
+                                "vendored serde_derive does not support generic type `{name}`; \
+                                 see vendor/README.md"
+                            );
+                        }
+                        return name.to_string();
+                    }
+                    other => panic!("expected type name after `{word}`, found {other:?}"),
+                }
+            }
+        }
+    }
+    panic!("derive input contains no struct/enum/union")
+}
+
+/// Stand-in for `serde_derive::Serialize`: emits an empty marker impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Stand-in for `serde_derive::Deserialize`: emits an empty marker impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}

@@ -16,4 +16,13 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
+echo "==> cargo doc (RUSTDOCFLAGS=-D warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
+echo "==> optimal_sim agreement gate (fast settings)"
+# Small runs/blocks/truncation keep this under a minute; results go to a
+# scratch dir so the committed full-size artifacts aren't overwritten.
+SELETH_RESULTS="$(mktemp -d)" SELETH_RUNS=4 SELETH_BLOCKS=20000 SELETH_MDP_LEN=24 \
+    cargo run --release -q -p seleth-bench --bin optimal_sim
+
 echo "CI OK"

@@ -1,0 +1,150 @@
+//! Simulator performance tracker: times the Monte-Carlo engine and writes
+//! `BENCH_sim.json` into the results directory — the sim-side counterpart
+//! of `BENCH_solver.json`, recording the throughput trajectory PR over PR.
+//!
+//! Measured (wall-clock, best of `SELETH_BENCH_REPS` repetitions,
+//! default 3):
+//!
+//! - `single_run_blocks_per_sec`: one selfish-mining run of
+//!   `SELETH_BENCH_BLOCKS` blocks (default 200 000) on one engine —
+//!   the per-worker hot-path rate;
+//! - `policy_run_blocks_per_sec`: the same budget replaying an exported
+//!   optimal-policy table, pricing the playback executor against the
+//!   hand-coded strategy;
+//! - `run_many` scaling: `SELETH_BENCH_RUNS` runs (default 16) of
+//!   `blocks / 4` blocks each across worker counts 1/2/4/8, with the
+//!   parallel speedup relative to one worker.
+//!
+//! Usage: `cargo run --release -p seleth-bench --bin bench_sim`.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use seleth_mdp::{MdpConfig, PolicyTable, RewardModel};
+use seleth_sim::{multi, SimConfig, Simulation};
+
+fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let value = f();
+        best = best.min(start.elapsed().as_secs_f64());
+        out = Some(value);
+    }
+    (best, out.expect("at least one repetition"))
+}
+
+fn main() {
+    let reps = usize::try_from(seleth_bench::env_u64("SELETH_BENCH_REPS", 3)).unwrap_or(3);
+    let blocks = seleth_bench::env_u64("SELETH_BENCH_BLOCKS", 200_000);
+    let runs = seleth_bench::env_u64("SELETH_BENCH_RUNS", 16);
+
+    let base = SimConfig::builder()
+        .alpha(0.35)
+        .gamma(0.5)
+        .n_honest(999)
+        .blocks(blocks)
+        .seed(4242)
+        .build()
+        .expect("valid config");
+
+    // --- Single-run throughput (engine reuse, like a run_many worker) ---
+    let mut engine = Simulation::new(base.clone());
+    let (single_s, _) = best_of(reps, || {
+        engine.reset(base.clone());
+        engine.run_in_place().pool.total()
+    });
+    let single_rate = blocks as f64 / single_s;
+    println!(
+        "single_run          {blocks} blocks: {:.1} ms ({:.2} Mblocks/s)",
+        single_s * 1e3,
+        single_rate / 1e6
+    );
+
+    // --- Policy-playback throughput on the same block budget ---
+    let mdp = MdpConfig::new(0.35, 0.5, RewardModel::Bitcoin).with_max_len(30);
+    let table = PolicyTable::from_solution(&mdp, &mdp.solve().expect("mdp solve"));
+    let policy_config = SimConfig::builder()
+        .alpha(0.35)
+        .gamma(0.5)
+        .n_honest(999)
+        .blocks(blocks)
+        .seed(4242)
+        .policy(table)
+        .build()
+        .expect("valid config");
+    let mut engine = Simulation::new(policy_config.clone());
+    let (policy_s, _) = best_of(reps, || {
+        engine.reset(policy_config.clone());
+        engine.run_in_place().pool.total()
+    });
+    let policy_rate = blocks as f64 / policy_s;
+    println!(
+        "policy_run          {blocks} blocks: {:.1} ms ({:.2} Mblocks/s, {:.2}x of selfish)",
+        policy_s * 1e3,
+        policy_rate / 1e6,
+        policy_rate / single_rate
+    );
+
+    // --- run_many scaling across worker counts ---
+    let many_blocks = (blocks / 4).max(1);
+    let many_config = SimConfig::builder()
+        .alpha(0.35)
+        .gamma(0.5)
+        .n_honest(999)
+        .blocks(many_blocks)
+        .seed(999)
+        .build()
+        .expect("valid config");
+    let thread_counts = [1usize, 2, 4, 8];
+    let mut scaling = Vec::new();
+    for &threads in &thread_counts {
+        let (s, reports) = best_of(reps, || {
+            multi::run_many_with_threads(&many_config, runs, threads)
+        });
+        assert_eq!(reports.len(), usize::try_from(runs).unwrap_or(usize::MAX));
+        let rate = (many_blocks * runs) as f64 / s;
+        println!(
+            "run_many            {runs} x {many_blocks} blocks, {threads} threads: \
+             {:.1} ms ({:.2} Mblocks/s)",
+            s * 1e3,
+            rate / 1e6
+        );
+        scaling.push((threads, s));
+    }
+    let speedup_max = scaling[0].1
+        / scaling
+            .iter()
+            .map(|&(_, s)| s)
+            .fold(f64::INFINITY, f64::min);
+    println!("run_many_speedup    best {speedup_max:.2}x over 1 thread");
+
+    // --- Emit BENCH_sim.json ---
+    let mut json = String::from("{\n");
+    let mut field = |key: &str, value: String| {
+        let _ = writeln!(json, "  \"{key}\": {value},");
+    };
+    field("blocks", blocks.to_string());
+    field("single_run_ms", format!("{:.3}", single_s * 1e3));
+    field("single_run_blocks_per_sec", format!("{single_rate:.0}"));
+    field("policy_run_ms", format!("{:.3}", policy_s * 1e3));
+    field("policy_run_blocks_per_sec", format!("{policy_rate:.0}"));
+    field("many_runs", runs.to_string());
+    field("many_blocks_per_run", many_blocks.to_string());
+    for &(threads, s) in &scaling {
+        field(
+            &format!("run_many_t{threads}_ms"),
+            format!("{:.3}", s * 1e3),
+        );
+    }
+    field("run_many_speedup_max", format!("{speedup_max:.3}"));
+    // Trailing field without comma.
+    let _ = write!(json, "  \"reps\": {reps}\n}}\n");
+
+    let dir = seleth_bench::results_dir();
+    std::fs::create_dir_all(&dir).expect("create results directory");
+    let path = dir.join("BENCH_sim.json");
+    std::fs::write(&path, json).expect("write BENCH_sim.json");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,145 @@
+//! Cross-validation experiment: solve the MDP, export the optimal policy
+//! as an artifact, replay it through the Monte-Carlo simulator, and
+//! compare measured revenue against the predicted ρ*.
+//!
+//! For each Bitcoin-model point the run is **gated**: simulated mean
+//! revenue must match ρ* within 3 standard errors *and* 1% absolute
+//! (exit code 1 otherwise) — the executable-artifact analogue of
+//! `tests/policy_playback.rs`. The Ethereum-model point is informational:
+//! its lowering projects away the published-prefix distance dimension
+//! (see `seleth_mdp::policy`), so its replay is a feasible approximation
+//! of the optimum rather than the optimum itself.
+//!
+//! Artifacts land in `results/policies/` (see the README's "Policy
+//! subsystem" section for the format); the comparison table is written to
+//! `results/optimal_sim.csv`. Environment knobs: `SELETH_RUNS` (8),
+//! `SELETH_BLOCKS` (50 000), `SELETH_MDP_LEN` (30), `SELETH_RESULTS`.
+
+use seleth_chain::{RewardSchedule, Scenario};
+use seleth_mdp::{MdpConfig, PolicyTable, RewardModel};
+use seleth_sim::{multi, SimConfig};
+
+struct Point {
+    alpha: f64,
+    gamma: f64,
+    rewards: RewardModel,
+    /// Whether the 3σ/1% agreement gate applies.
+    gated: bool,
+}
+
+fn main() {
+    let runs = seleth_bench::env_u64("SELETH_RUNS", 8);
+    let blocks = seleth_bench::env_u64("SELETH_BLOCKS", 50_000);
+    let max_len = u32::try_from(seleth_bench::env_u64("SELETH_MDP_LEN", 30)).unwrap_or(30);
+
+    // One point below the γ = 0.5 profitability threshold (optimal play is
+    // honest, ρ* = α), two above, plus the informational Ethereum point.
+    let points = [
+        Point {
+            alpha: 0.20,
+            gamma: 0.5,
+            rewards: RewardModel::Bitcoin,
+            gated: true,
+        },
+        Point {
+            alpha: 0.35,
+            gamma: 0.0,
+            rewards: RewardModel::Bitcoin,
+            gated: true,
+        },
+        Point {
+            alpha: 0.40,
+            gamma: 0.5,
+            rewards: RewardModel::Bitcoin,
+            gated: true,
+        },
+        Point {
+            alpha: 0.30,
+            gamma: 0.5,
+            rewards: RewardModel::EthereumApprox,
+            gated: false,
+        },
+    ];
+
+    println!(
+        "Optimal-policy playback: MDP rho* vs simulation \
+         ({runs} runs x {blocks} blocks, MDP len {max_len})\n"
+    );
+    println!(
+        "{:>6} {:>6} {:>9} {:>10} {:>10} {:>9} {:>8} {:>8}",
+        "alpha", "gamma", "model", "rho_mdp", "us_sim", "std_err", "sigmas", "verdict"
+    );
+
+    let policies_dir = seleth_bench::results_dir().join("policies");
+    let mut rows = Vec::new();
+    let mut failed = false;
+    for p in &points {
+        let config = MdpConfig::new(p.alpha, p.gamma, p.rewards).with_max_len(max_len);
+        let solution = config.solve().expect("mdp solve");
+        let table = PolicyTable::from_solution(&config, &solution);
+
+        // The artifact is the product under test: save, reload, replay the
+        // loaded copy.
+        let (model, schedule) = match p.rewards {
+            RewardModel::Bitcoin => ("bitcoin", RewardSchedule::bitcoin()),
+            RewardModel::EthereumApprox => ("ethereum", RewardSchedule::ethereum()),
+        };
+        let path = policies_dir.join(format!(
+            "{model}_a{:03.0}_g{:03.0}.json",
+            p.alpha * 100.0,
+            p.gamma * 100.0
+        ));
+        table.save(&path).expect("save policy artifact");
+        let loaded = PolicyTable::load(&path).expect("reload policy artifact");
+        assert_eq!(table, loaded, "artifact round-trip must be lossless");
+
+        let sim_config = SimConfig::builder()
+            .alpha(p.alpha)
+            .gamma(p.gamma)
+            .schedule(schedule)
+            .blocks(blocks)
+            .n_honest(100)
+            .seed(31_337)
+            .policy(loaded)
+            .build()
+            .expect("valid sim config");
+        let reports = multi::run_many(&sim_config, runs);
+        let us = multi::mean_absolute_pool(&reports, Scenario::RegularRate);
+        let std_err = us.std_dev / (runs as f64).sqrt();
+        let diff = (us.mean - solution.revenue).abs();
+        let sigmas = if std_err > 0.0 { diff / std_err } else { 0.0 };
+
+        let verdict = if !p.gated {
+            "info"
+        } else if diff <= 3.0 * std_err && diff <= 0.01 {
+            "ok"
+        } else {
+            failed = true;
+            "FAIL"
+        };
+        println!(
+            "{:>6.2} {:>6.2} {model:>9} {:>10.5} {:>10.5} {:>9.5} {sigmas:>8.2} {verdict:>8}",
+            p.alpha, p.gamma, solution.revenue, us.mean, std_err
+        );
+        let mut row = seleth_bench::cells(&[p.alpha, p.gamma, solution.revenue, us.mean, std_err]);
+        row.insert(2, model.to_string());
+        row.push(verdict.to_string());
+        rows.push(row);
+    }
+
+    let csv = seleth_bench::write_csv(
+        "optimal_sim.csv",
+        &[
+            "alpha", "gamma", "model", "rho_mdp", "us_sim", "std_err", "verdict",
+        ],
+        &rows,
+    );
+    println!("\npolicies under {}", policies_dir.display());
+    println!("wrote {}", csv.display());
+
+    if failed {
+        eprintln!("FAIL: a gated point disagrees with its MDP prediction");
+        std::process::exit(1);
+    }
+    println!("all gated points agree within 3 standard errors and 1% absolute");
+}

@@ -24,14 +24,20 @@ fn main() {
 
     println!("Strategy comparison (γ = {gamma}, Ethereum Ku(·), {runs} runs × {blocks} blocks)\n");
     println!(
-        "{:>6} {:>10} {:>10} {:>8} {:>10} {:>8} {:>12}",
-        "alpha", "honest", "selfish", "±", "stubborn", "±", "best"
+        "{:>6} {:>10} {:>8} {:>10} {:>8} {:>10} {:>8} {:>12}",
+        "alpha", "honest", "±", "selfish", "±", "stubborn", "±", "best"
     );
 
     let mut rows = Vec::new();
     for alpha in seleth_bench::sweep(0.05, 0.45, 0.05) {
         let mut us = Vec::new();
-        for strategy in [PoolStrategy::Selfish, PoolStrategy::LeadStubborn] {
+        // The honest pool is *simulated* like the others (its analytic
+        // value is exactly α, which makes the column self-validating).
+        for strategy in [
+            PoolStrategy::Honest,
+            PoolStrategy::Selfish,
+            PoolStrategy::LeadStubborn,
+        ] {
             let config = SimConfig::builder()
                 .alpha(alpha)
                 .gamma(gamma)
@@ -44,8 +50,8 @@ fn main() {
             let reports = multi::run_many(&config, runs);
             us.push(multi::mean_absolute_pool(&reports, scenario));
         }
-        let (selfish, stubborn) = (us[0], us[1]);
-        let best = if alpha >= selfish.mean.max(stubborn.mean) {
+        let (honest, selfish, stubborn) = (us[0], us[1], us[2]);
+        let best = if honest.mean >= selfish.mean.max(stubborn.mean) {
             "honest"
         } else if selfish.mean >= stubborn.mean {
             "selfish"
@@ -53,11 +59,18 @@ fn main() {
             "stubborn"
         };
         println!(
-            "{alpha:>6.2} {alpha:>10.4} {:>10.4} {:>8.4} {:>10.4} {:>8.4} {best:>12}",
-            selfish.mean, selfish.std_dev, stubborn.mean, stubborn.std_dev
+            "{alpha:>6.2} {:>10.4} {:>8.4} {:>10.4} {:>8.4} {:>10.4} {:>8.4} {best:>12}",
+            honest.mean,
+            honest.std_dev,
+            selfish.mean,
+            selfish.std_dev,
+            stubborn.mean,
+            stubborn.std_dev
         );
         rows.push(seleth_bench::cells(&[
             alpha,
+            honest.mean,
+            honest.std_dev,
             selfish.mean,
             selfish.std_dev,
             stubborn.mean,
@@ -69,6 +82,8 @@ fn main() {
         "strategies_comparison.csv",
         &[
             "alpha",
+            "honest_us",
+            "honest_std",
             "selfish_us",
             "selfish_std",
             "stubborn_us",

@@ -15,6 +15,18 @@
 //! | `table2`     | Table II — honest uncle reference distances |
 //! | `discussion` | Section VI — redesigned reward function thresholds |
 //!
+//! Extension experiments beyond the paper:
+//!
+//! | Binary        | What it studies |
+//! |---------------|-----------------|
+//! | `strategies`  | Honest vs Algorithm 1 vs Lead-Stubborn, all simulated |
+//! | `optimal`     | MDP-optimal revenue vs Algorithm 1 (Bitcoin + Ethereum) |
+//! | `optimal_sim` | Exported optimal policies replayed in the simulator, gated vs ρ* |
+//! | `delay`       | Propagation-delay sensitivity of the simulator |
+//! | `ablation_truncation` | Model-truncation bias ablation |
+//! | `bench_solver` | Perf trajectory of the numeric kernels (`BENCH_solver.json`) |
+//! | `bench_sim`   | Simulator throughput trajectory (`BENCH_sim.json`) |
+//!
 //! Binaries print the same rows/series the paper reports and write CSV
 //! files under `results/` (override with `SELETH_RESULTS`).
 
@@ -47,6 +59,15 @@ pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) -> PathBuf {
         writeln!(file, "{}", row.join(",")).expect("write CSV row");
     }
     path
+}
+
+/// Read an integer experiment knob from the environment, falling back to
+/// `default` when unset or unparsable.
+pub fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 /// Inclusive floating-point range with a fixed step, robust to rounding

@@ -38,7 +38,9 @@
 #![warn(missing_docs)]
 
 mod model;
+pub mod policy;
 mod solver;
 
 pub use model::{Action, Fork, MdpConfig, MdpError, MdpState, RewardModel};
+pub use policy::{PolicyError, PolicyTable};
 pub use solver::{Policy, Solution};

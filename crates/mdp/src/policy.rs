@@ -1,0 +1,724 @@
+//! Executable policy artifacts: compact, versioned, replayable tables.
+//!
+//! A solved [`crate::Policy`] is index-backed but tied to the solver's
+//! in-memory state enumeration. This module lowers it into a
+//! [`PolicyTable`] — three dense `(a, h) → Action` arrays, one per
+//! [`Fork`] label, plus the metadata needed to reproduce and audit the
+//! solve (α, γ, reward model, scenario, truncation, predicted revenue ρ*).
+//! The table is what the simulator replays ([`seleth-sim`]'s
+//! `PoolStrategy::Table`): lookups are pure arithmetic over flat arrays,
+//! no hashing, no allocation.
+//!
+//! # Artifact format
+//!
+//! Tables serialize to a single flat JSON object (format version
+//! [`FORMAT_VERSION`]) with one key per metadata field and one
+//! action-code string per fork label (`a` = adopt, `o` = override,
+//! `m` = match, `w` = wait; row-major, `index = a · (max_len + 1) + h`).
+//! Floats are written with Rust's shortest round-trip formatting, so
+//! save → load is bit-identical. The reader is a small hand-rolled parser
+//! (the vendored `serde` is marker-only; see `vendor/README.md`) that
+//! accepts any field order and ignores unknown string/number fields.
+//!
+//! # Lowering and the `match_d` dimension
+//!
+//! [`RewardModel::Bitcoin`] policies carry no published-prefix distance,
+//! so the lowering is exact: the table plays the same action the MDP
+//! optimum plays in every reachable state.
+//! [`RewardModel::EthereumApprox`] policies additionally condition on the
+//! first-reference distance of a published prefix; the table keeps the
+//! no-prefix slice (`match_d = 0`) for irrelevant/relevant states and the
+//! first-match slice (`match_d = min(h, 7)`) for active states — the
+//! distances actually reached when a fork epoch's first match happens at
+//! the current height. Replays of Ethereum-model tables are therefore a
+//! (very good) feasible approximation of the optimum, not the optimum
+//! itself; cross-validation against ρ* is enforced for Bitcoin-model
+//! tables (see `tests/policy_playback.rs`).
+//!
+//! [`seleth-sim`]: https://docs.rs/seleth-sim
+
+use std::error::Error;
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use seleth_chain::Scenario;
+
+use crate::model::{Action, Fork, MdpConfig, MdpState, RewardModel, MATCH_D_CAP};
+use crate::solver::Solution;
+
+/// Version tag written into (and required from) policy artifacts.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Artifact kind tag, so unrelated JSON files fail loudly on load.
+const KIND: &str = "seleth-policy";
+
+/// Upper bound accepted for `max_len` when parsing (keeps hostile inputs
+/// from requesting absurd allocations).
+const MAX_LEN_LIMIT: u32 = 4096;
+
+/// Error raised by [`PolicyTable`] parsing and I/O.
+#[derive(Debug)]
+pub enum PolicyError {
+    /// Reading or writing the artifact file failed.
+    Io {
+        /// The file involved.
+        path: String,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// The artifact text is not a valid policy table.
+    Parse(String),
+}
+
+impl fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicyError::Io { path, source } => write!(f, "policy I/O on {path}: {source}"),
+            PolicyError::Parse(msg) => write!(f, "policy parse error: {msg}"),
+        }
+    }
+}
+
+impl Error for PolicyError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PolicyError::Io { source, .. } => Some(source),
+            PolicyError::Parse(_) => None,
+        }
+    }
+}
+
+/// A dense, replayable withholding policy: `(a, h, fork) → Action` over
+/// the truncated region `a, h ≤ max_len`, plus solve metadata.
+///
+/// Construct by lowering a solve ([`PolicyTable::from_solution`]), from a
+/// closure ([`PolicyTable::from_fn`]), as the honest baseline
+/// ([`PolicyTable::honest`]), or by loading an artifact
+/// ([`PolicyTable::load`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolicyTable {
+    alpha: f64,
+    gamma: f64,
+    rewards: RewardModel,
+    scenario: Scenario,
+    max_len: u32,
+    revenue: f64,
+    /// `(max_len + 1)²` actions per fork label, `index = a·(max_len+1)+h`.
+    irrelevant: Vec<Action>,
+    relevant: Vec<Action>,
+    active: Vec<Action>,
+}
+
+impl PolicyTable {
+    /// Lower a solved policy into a dense table.
+    ///
+    /// `config` must be the configuration `solution` was solved with (the
+    /// table records its α, γ, reward model, scenario and truncation).
+    /// See the [module docs](self) for how the Ethereum `match_d`
+    /// dimension is projected.
+    pub fn from_solution(config: &MdpConfig, solution: &Solution) -> Self {
+        let policy = &solution.policy;
+        let lookup = |a: u32, h: u32, fork: Fork| -> Action {
+            let state = match fork {
+                // The no-published-prefix slice exists for every (a, h)
+                // that has the label at all.
+                Fork::Irrelevant => MdpState::new(a, h, Fork::Irrelevant),
+                Fork::Relevant => MdpState::new(a, h, Fork::Relevant),
+                // Active states carry the distance fixed at first match:
+                // h, capped where rewards vanish (Bitcoin collapses the
+                // dimension to a canonical 1).
+                Fork::Active => {
+                    let d = match config.rewards {
+                        RewardModel::Bitcoin => 1,
+                        RewardModel::EthereumApprox => {
+                            (u8::try_from(h).unwrap_or(MATCH_D_CAP)).clamp(1, MATCH_D_CAP)
+                        }
+                    };
+                    MdpState::active(a, h, d)
+                }
+            };
+            // Slots for states outside the MDP's space (relevant/active
+            // with h = 0, active with a < h) are unreachable in replay;
+            // fill them with the always-safe resolution.
+            policy.action(state).unwrap_or(Action::Adopt)
+        };
+        Self::from_fn(
+            config.alpha,
+            config.gamma,
+            config.rewards,
+            config.scenario,
+            config.max_len,
+            solution.revenue,
+            lookup,
+        )
+    }
+
+    /// Build a table from an arbitrary `(a, h, fork) → Action` rule — the
+    /// escape hatch for hand-written strategies and tests. `revenue`
+    /// records the strategy's *predicted* objective value (use the honest
+    /// baseline `α` when no prediction exists).
+    pub fn from_fn(
+        alpha: f64,
+        gamma: f64,
+        rewards: RewardModel,
+        scenario: Scenario,
+        max_len: u32,
+        revenue: f64,
+        mut f: impl FnMut(u32, u32, Fork) -> Action,
+    ) -> Self {
+        let side = (max_len + 1) as usize;
+        let mut tables = [
+            Vec::with_capacity(side * side),
+            Vec::with_capacity(side * side),
+            Vec::with_capacity(side * side),
+        ];
+        for (slot, fork) in [Fork::Irrelevant, Fork::Relevant, Fork::Active]
+            .into_iter()
+            .enumerate()
+        {
+            for a in 0..=max_len {
+                for h in 0..=max_len {
+                    tables[slot].push(f(a, h, fork));
+                }
+            }
+        }
+        let [irrelevant, relevant, active] = tables;
+        PolicyTable {
+            alpha,
+            gamma,
+            rewards,
+            scenario,
+            max_len,
+            revenue,
+            irrelevant,
+            relevant,
+            active,
+        }
+    }
+
+    /// The honest-mining baseline as a table: publish (override) any
+    /// private lead immediately, adopt whenever behind or tied. Replaying
+    /// it earns exactly the fair share `α`, which is what the `revenue`
+    /// field records.
+    pub fn honest(alpha: f64, gamma: f64, max_len: u32) -> Self {
+        Self::from_fn(
+            alpha,
+            gamma,
+            RewardModel::Bitcoin,
+            Scenario::RegularRate,
+            max_len,
+            alpha,
+            |a, h, _| {
+                if a > h {
+                    Action::Override
+                } else {
+                    Action::Adopt
+                }
+            },
+        )
+    }
+
+    /// Attacker hash-power fraction the policy was solved for.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Tie-breaking parameter the policy was solved for.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// Reward semantics of the solve.
+    pub fn rewards(&self) -> RewardModel {
+        self.rewards
+    }
+
+    /// Difficulty-adjustment scenario of the solve's objective.
+    pub fn scenario(&self) -> Scenario {
+        self.scenario
+    }
+
+    /// Truncation: the table covers `a, h ≤ max_len`.
+    pub fn max_len(&self) -> u32 {
+        self.max_len
+    }
+
+    /// The solver-predicted optimal revenue ρ* (the replay target).
+    pub fn predicted_revenue(&self) -> f64 {
+        self.revenue
+    }
+
+    /// Number of stored action slots (`3 · (max_len + 1)²`).
+    pub fn len(&self) -> usize {
+        self.irrelevant.len() + self.relevant.len() + self.active.len()
+    }
+
+    /// `true` if the table covers no states (never produced by the
+    /// constructors; tables always cover at least `a = h = 0`).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The action prescribed in `(a, h, fork)`, or `None` when the state
+    /// lies outside the truncated region — the replay executor's
+    /// documented fallback is then a forced *adopt*.
+    #[inline]
+    pub fn action(&self, a: u32, h: u32, fork: Fork) -> Option<Action> {
+        if a > self.max_len || h > self.max_len {
+            return None;
+        }
+        let side = (self.max_len + 1) as usize;
+        let idx = a as usize * side + h as usize;
+        let table = match fork {
+            Fork::Irrelevant => &self.irrelevant,
+            Fork::Relevant => &self.relevant,
+            Fork::Active => &self.active,
+        };
+        Some(table[idx])
+    }
+
+    // ------------------------------------------------------------------
+    // Serialization (hand-rolled: the vendored serde is marker-only)
+    // ------------------------------------------------------------------
+
+    /// Render the artifact JSON. Floats use Rust's shortest round-trip
+    /// formatting, so [`PolicyTable::from_json`] restores them
+    /// bit-identically.
+    pub fn to_json(&self) -> String {
+        let side = (self.max_len + 1) as usize;
+        let mut out = String::with_capacity(3 * side * side + 512);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"kind\": \"{KIND}\",\n"));
+        out.push_str(&format!("  \"format\": {FORMAT_VERSION},\n"));
+        out.push_str(&format!("  \"alpha\": {},\n", self.alpha));
+        out.push_str(&format!("  \"gamma\": {},\n", self.gamma));
+        let rewards = match self.rewards {
+            RewardModel::Bitcoin => "bitcoin",
+            RewardModel::EthereumApprox => "ethereum_approx",
+        };
+        out.push_str(&format!("  \"rewards\": \"{rewards}\",\n"));
+        let scenario = match self.scenario {
+            Scenario::RegularRate => "regular_rate",
+            Scenario::RegularPlusUncleRate => "regular_plus_uncle_rate",
+        };
+        out.push_str(&format!("  \"scenario\": \"{scenario}\",\n"));
+        out.push_str(&format!("  \"max_len\": {},\n", self.max_len));
+        out.push_str(&format!("  \"revenue\": {},\n", self.revenue));
+        for (name, table) in [
+            ("irrelevant", &self.irrelevant),
+            ("relevant", &self.relevant),
+            ("active", &self.active),
+        ] {
+            out.push_str(&format!("  \"{name}\": \""));
+            for &action in table.iter() {
+                out.push(encode_action(action));
+            }
+            out.push_str("\",\n");
+        }
+        // Replace the trailing comma of the last field.
+        out.truncate(out.len() - 2);
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Parse an artifact produced by [`PolicyTable::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// [`PolicyError::Parse`] on malformed JSON, a wrong `kind`/`format`
+    /// tag, missing fields, or action strings whose length disagrees with
+    /// `max_len`.
+    pub fn from_json(text: &str) -> Result<Self, PolicyError> {
+        let mut cur = Cursor::new(text);
+        cur.skip_ws();
+        cur.expect(b'{')?;
+
+        let mut kind: Option<String> = None;
+        let mut format: Option<f64> = None;
+        let mut alpha: Option<f64> = None;
+        let mut gamma: Option<f64> = None;
+        let mut rewards: Option<String> = None;
+        let mut scenario: Option<String> = None;
+        let mut max_len: Option<f64> = None;
+        let mut revenue: Option<f64> = None;
+        let mut irrelevant: Option<String> = None;
+        let mut relevant: Option<String> = None;
+        let mut active: Option<String> = None;
+
+        loop {
+            cur.skip_ws();
+            if cur.eat(b'}') {
+                break;
+            }
+            let key = cur.parse_string()?;
+            cur.skip_ws();
+            cur.expect(b':')?;
+            cur.skip_ws();
+            match key.as_str() {
+                "kind" => kind = Some(cur.parse_string()?),
+                "rewards" => rewards = Some(cur.parse_string()?),
+                "scenario" => scenario = Some(cur.parse_string()?),
+                "irrelevant" => irrelevant = Some(cur.parse_string()?),
+                "relevant" => relevant = Some(cur.parse_string()?),
+                "active" => active = Some(cur.parse_string()?),
+                "format" => format = Some(cur.parse_number()?),
+                "alpha" => alpha = Some(cur.parse_number()?),
+                "gamma" => gamma = Some(cur.parse_number()?),
+                "max_len" => max_len = Some(cur.parse_number()?),
+                "revenue" => revenue = Some(cur.parse_number()?),
+                // Unknown scalar fields are skipped for forward
+                // compatibility.
+                _ => {
+                    if cur.peek() == Some(b'"') {
+                        cur.parse_string()?;
+                    } else {
+                        cur.parse_number()?;
+                    }
+                }
+            }
+            cur.skip_ws();
+            if cur.eat(b',') {
+                continue;
+            }
+            cur.expect(b'}')?;
+            break;
+        }
+
+        let missing = |field: &str| PolicyError::Parse(format!("missing field `{field}`"));
+        let kind = kind.ok_or_else(|| missing("kind"))?;
+        if kind != KIND {
+            return Err(PolicyError::Parse(format!("kind `{kind}` is not `{KIND}`")));
+        }
+        let format = format.ok_or_else(|| missing("format"))?;
+        if format != f64::from(FORMAT_VERSION) {
+            return Err(PolicyError::Parse(format!(
+                "unsupported format version {format} (expected {FORMAT_VERSION})"
+            )));
+        }
+        let max_len_f = max_len.ok_or_else(|| missing("max_len"))?;
+        if !(0.0..=f64::from(MAX_LEN_LIMIT)).contains(&max_len_f) || max_len_f.fract() != 0.0 {
+            return Err(PolicyError::Parse(format!("bad max_len {max_len_f}")));
+        }
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let max_len = max_len_f as u32;
+        let rewards = match rewards.ok_or_else(|| missing("rewards"))?.as_str() {
+            "bitcoin" => RewardModel::Bitcoin,
+            "ethereum_approx" => RewardModel::EthereumApprox,
+            other => {
+                return Err(PolicyError::Parse(format!(
+                    "unknown reward model `{other}`"
+                )));
+            }
+        };
+        let scenario = match scenario.ok_or_else(|| missing("scenario"))?.as_str() {
+            "regular_rate" => Scenario::RegularRate,
+            "regular_plus_uncle_rate" => Scenario::RegularPlusUncleRate,
+            other => {
+                return Err(PolicyError::Parse(format!("unknown scenario `{other}`")));
+            }
+        };
+        let side = (max_len + 1) as usize;
+        let decode = |name: &str, text: Option<String>| -> Result<Vec<Action>, PolicyError> {
+            let text = text.ok_or_else(|| missing(name))?;
+            if text.len() != side * side {
+                return Err(PolicyError::Parse(format!(
+                    "table `{name}` has {} slots, expected {}",
+                    text.len(),
+                    side * side
+                )));
+            }
+            text.bytes().map(decode_action).collect()
+        };
+
+        Ok(PolicyTable {
+            alpha: alpha.ok_or_else(|| missing("alpha"))?,
+            gamma: gamma.ok_or_else(|| missing("gamma"))?,
+            rewards,
+            scenario,
+            max_len,
+            revenue: revenue.ok_or_else(|| missing("revenue"))?,
+            irrelevant: decode("irrelevant", irrelevant)?,
+            relevant: decode("relevant", relevant)?,
+            active: decode("active", active)?,
+        })
+    }
+
+    /// Write the artifact to `path`, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// [`PolicyError::Io`] on filesystem failure.
+    pub fn save(&self, path: &Path) -> Result<(), PolicyError> {
+        let io_err = |source| PolicyError::Io {
+            path: path.display().to_string(),
+            source,
+        };
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent).map_err(io_err)?;
+            }
+        }
+        fs::write(path, self.to_json()).map_err(io_err)
+    }
+
+    /// Load an artifact written by [`PolicyTable::save`].
+    ///
+    /// # Errors
+    ///
+    /// [`PolicyError::Io`] on filesystem failure, [`PolicyError::Parse`]
+    /// on malformed content.
+    pub fn load(path: &Path) -> Result<Self, PolicyError> {
+        let text = fs::read_to_string(path).map_err(|source| PolicyError::Io {
+            path: path.display().to_string(),
+            source,
+        })?;
+        Self::from_json(&text)
+    }
+}
+
+fn encode_action(action: Action) -> char {
+    match action {
+        Action::Adopt => 'a',
+        Action::Override => 'o',
+        Action::Match => 'm',
+        Action::Wait => 'w',
+    }
+}
+
+fn decode_action(byte: u8) -> Result<Action, PolicyError> {
+    match byte {
+        b'a' => Ok(Action::Adopt),
+        b'o' => Ok(Action::Override),
+        b'm' => Ok(Action::Match),
+        b'w' => Ok(Action::Wait),
+        other => Err(PolicyError::Parse(format!(
+            "unknown action code `{}`",
+            char::from(other)
+        ))),
+    }
+}
+
+/// Minimal scanner over the artifact's flat-JSON subset: one object whose
+/// values are numbers or escape-free strings.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(text: &'a str) -> Self {
+        Cursor {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, byte: u8) -> bool {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), PolicyError> {
+        if self.eat(byte) {
+            Ok(())
+        } else {
+            Err(PolicyError::Parse(format!(
+                "expected `{}` at byte {} of the artifact",
+                char::from(byte),
+                self.pos
+            )))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, PolicyError> {
+        self.expect(b'"')?;
+        let start = self.pos;
+        loop {
+            match self.peek() {
+                Some(b'"') => break,
+                Some(b'\\') => {
+                    return Err(PolicyError::Parse(
+                        "escape sequences are not part of the artifact format".into(),
+                    ));
+                }
+                Some(_) => self.pos += 1,
+                None => {
+                    return Err(PolicyError::Parse("unterminated string".into()));
+                }
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| PolicyError::Parse("non-UTF-8 string".into()))?
+            .to_string();
+        self.pos += 1; // closing quote
+        Ok(text)
+    }
+
+    fn parse_number(&mut self) -> Result<f64, PolicyError> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| PolicyError::Parse("non-UTF-8 number".into()))?;
+        text.parse::<f64>()
+            .map_err(|_| PolicyError::Parse(format!("bad number `{text}` at byte {start}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solved_table(alpha: f64, gamma: f64, rewards: RewardModel, len: u32) -> PolicyTable {
+        let config = MdpConfig::new(alpha, gamma, rewards).with_max_len(len);
+        let solution = config.solve().expect("solve");
+        PolicyTable::from_solution(&config, &solution)
+    }
+
+    #[test]
+    fn lowering_preserves_policy_actions() {
+        let config = MdpConfig::new(0.4, 0.5, RewardModel::Bitcoin).with_max_len(16);
+        let solution = config.solve().expect("solve");
+        let table = PolicyTable::from_solution(&config, &solution);
+        // Bitcoin lowering is exact: every in-space (a, h, fork) slot
+        // matches the solver's policy.
+        for (state, action) in solution.policy.iter() {
+            if state.fork == Fork::Active && state.match_d != 1 {
+                continue; // Bitcoin active states are canonicalized at d=1
+            }
+            assert_eq!(
+                table.action(state.a, state.h, state.fork),
+                Some(action),
+                "slot {state}"
+            );
+        }
+        assert_eq!(table.predicted_revenue(), solution.revenue);
+        assert_eq!(table.max_len(), 16);
+        assert_eq!(table.len(), 3 * 17 * 17);
+    }
+
+    #[test]
+    fn lookup_outside_truncation_is_none() {
+        let table = PolicyTable::honest(0.3, 0.5, 8);
+        assert_eq!(table.action(9, 0, Fork::Irrelevant), None);
+        assert_eq!(table.action(0, 9, Fork::Relevant), None);
+        assert!(table.action(8, 8, Fork::Active).is_some());
+        assert!(!table.is_empty());
+    }
+
+    #[test]
+    fn honest_table_overrides_leads_adopts_otherwise() {
+        let table = PolicyTable::honest(0.3, 0.5, 10);
+        assert_eq!(table.action(1, 0, Fork::Irrelevant), Some(Action::Override));
+        assert_eq!(table.action(3, 1, Fork::Relevant), Some(Action::Override));
+        assert_eq!(table.action(0, 2, Fork::Relevant), Some(Action::Adopt));
+        assert_eq!(table.action(2, 2, Fork::Active), Some(Action::Adopt));
+        assert_eq!(table.predicted_revenue(), 0.3);
+    }
+
+    #[test]
+    fn json_round_trip_is_bit_identical() {
+        for (rewards, scenario) in [
+            (RewardModel::Bitcoin, Scenario::RegularRate),
+            (RewardModel::EthereumApprox, Scenario::RegularPlusUncleRate),
+        ] {
+            let config = MdpConfig::new(0.37, 0.41, rewards)
+                .with_max_len(10)
+                .with_scenario(scenario);
+            let solution = config.solve().expect("solve");
+            let table = PolicyTable::from_solution(&config, &solution);
+            let restored = PolicyTable::from_json(&table.to_json()).expect("parse");
+            assert_eq!(table, restored);
+            assert_eq!(table.alpha().to_bits(), restored.alpha().to_bits());
+            assert_eq!(table.gamma().to_bits(), restored.gamma().to_bits());
+            assert_eq!(
+                table.predicted_revenue().to_bits(),
+                restored.predicted_revenue().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let table = solved_table(0.35, 0.0, RewardModel::Bitcoin, 12);
+        let dir = std::env::temp_dir().join("seleth-policy-test");
+        let path = dir.join("nested").join("t.json");
+        table.save(&path).expect("save");
+        let restored = PolicyTable::load(&path).expect("load");
+        assert_eq!(table, restored);
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn malformed_artifacts_are_rejected() {
+        assert!(PolicyTable::from_json("").is_err());
+        assert!(PolicyTable::from_json("{}").is_err());
+        assert!(PolicyTable::from_json("{\"kind\": \"other\"}").is_err());
+        // Wrong format version.
+        let json = PolicyTable::honest(0.3, 0.5, 4)
+            .to_json()
+            .replace("\"format\": 1", "\"format\": 99");
+        assert!(PolicyTable::from_json(&json).is_err());
+        // Truncated action table.
+        let json = PolicyTable::honest(0.3, 0.5, 4)
+            .to_json()
+            .replace("\"max_len\": 4", "\"max_len\": 5");
+        assert!(PolicyTable::from_json(&json).is_err());
+        // Unknown action code.
+        let json = PolicyTable::honest(0.3, 0.5, 4).to_json().replace('o', "x");
+        assert!(PolicyTable::from_json(&json).is_err());
+    }
+
+    #[test]
+    fn unknown_fields_are_ignored() {
+        let table = PolicyTable::honest(0.25, 0.5, 4);
+        let json = table.to_json().replace(
+            "\"alpha\"",
+            "\"note\": \"extra\",\n  \"spare\": 7,\n  \"alpha\"",
+        );
+        let restored = PolicyTable::from_json(&json).expect("parse with extras");
+        assert_eq!(table, restored);
+    }
+
+    #[test]
+    fn field_order_does_not_matter() {
+        let table = solved_table(0.3, 0.5, RewardModel::Bitcoin, 6);
+        let json = table.to_json();
+        // Reverse the field lines of the object.
+        let body: Vec<&str> = json
+            .trim()
+            .trim_start_matches('{')
+            .trim_end_matches('}')
+            .trim()
+            .trim_end_matches(',')
+            .split(",\n")
+            .collect();
+        let reversed = format!(
+            "{{\n{}\n}}\n",
+            body.iter().rev().copied().collect::<Vec<_>>().join(",\n")
+        );
+        let restored = PolicyTable::from_json(&reversed).expect("parse reversed");
+        assert_eq!(table, restored);
+    }
+}

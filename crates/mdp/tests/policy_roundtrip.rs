@@ -1,0 +1,129 @@
+//! Property tests of the policy-artifact format: save → load must be
+//! bit-identical for solved policies and for arbitrary hand-built tables.
+
+use proptest::prelude::*;
+
+use seleth_chain::Scenario;
+use seleth_mdp::{Action, Fork, MdpConfig, PolicyTable, RewardModel};
+
+/// Bitwise table equality: every metadata float compared by bits, every
+/// action slot compared exactly. (`PartialEq` would treat `-0.0 == 0.0`;
+/// artifacts must be stricter.)
+fn assert_bit_identical(a: &PolicyTable, b: &PolicyTable) {
+    assert_eq!(a.alpha().to_bits(), b.alpha().to_bits(), "alpha");
+    assert_eq!(a.gamma().to_bits(), b.gamma().to_bits(), "gamma");
+    assert_eq!(
+        a.predicted_revenue().to_bits(),
+        b.predicted_revenue().to_bits(),
+        "revenue"
+    );
+    assert_eq!(a.rewards(), b.rewards());
+    assert_eq!(a.scenario(), b.scenario());
+    assert_eq!(a.max_len(), b.max_len());
+    for fork in [Fork::Irrelevant, Fork::Relevant, Fork::Active] {
+        for x in 0..=a.max_len() {
+            for h in 0..=a.max_len() {
+                assert_eq!(
+                    a.action(x, h, fork),
+                    b.action(x, h, fork),
+                    "slot ({x}, {h}, {fork:?})"
+                );
+            }
+        }
+    }
+}
+
+fn action_from_index(i: u8) -> Action {
+    match i % 4 {
+        0 => Action::Adopt,
+        1 => Action::Override,
+        2 => Action::Match,
+        _ => Action::Wait,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random *solved* policies round-trip bit-identically, including the
+    /// solver's full-precision revenue.
+    #[test]
+    fn solved_policy_roundtrip(
+        alpha in 0.05f64..0.45,
+        gamma in 0.0f64..1.0,
+        max_len in 4u32..9,
+        bitcoin in any::<bool>(),
+    ) {
+        let rewards = if bitcoin {
+            RewardModel::Bitcoin
+        } else {
+            RewardModel::EthereumApprox
+        };
+        let config = MdpConfig::new(alpha, gamma, rewards).with_max_len(max_len);
+        let solution = config.solve().expect("solve");
+        let table = PolicyTable::from_solution(&config, &solution);
+        let restored = PolicyTable::from_json(&table.to_json()).expect("parse");
+        assert_bit_identical(&table, &restored);
+        prop_assert_eq!(restored.predicted_revenue(), solution.revenue);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary hand-built tables (any action pattern, any metadata
+    /// floats) round-trip bit-identically.
+    #[test]
+    fn arbitrary_table_roundtrip(
+        alpha in 0.0f64..1.0,
+        gamma in 0.0f64..1.0,
+        revenue in -2.0f64..2.0,
+        max_len in 0u32..14,
+        scenario2 in any::<bool>(),
+        pattern in any::<u64>(),
+    ) {
+        let scenario = if scenario2 {
+            Scenario::RegularPlusUncleRate
+        } else {
+            Scenario::RegularRate
+        };
+        // A cheap deterministic action hash over (a, h, fork).
+        let table = PolicyTable::from_fn(
+            alpha,
+            gamma,
+            RewardModel::EthereumApprox,
+            scenario,
+            max_len,
+            revenue,
+            |a, h, fork| {
+                let mix = u64::from(a)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(u64::from(h).wrapping_mul(0xBF58_476D_1CE4_E5B9))
+                    .wrapping_add(fork as u64)
+                    .wrapping_add(pattern);
+                action_from_index((mix >> 32) as u8)
+            },
+        );
+        let restored = PolicyTable::from_json(&table.to_json()).expect("parse");
+        assert_bit_identical(&table, &restored);
+        // And a second trip is a fixed point of the text form too.
+        prop_assert_eq!(table.to_json(), restored.to_json());
+    }
+
+    /// Corrupting any single action code makes the parse fail or changes
+    /// exactly that slot — never silently reinterprets the rest.
+    #[test]
+    fn corrupt_action_codes_never_parse(byte in any::<u8>()) {
+        let json = PolicyTable::honest(0.3, 0.5, 3).to_json();
+        let c = char::from(byte);
+        if "aomw".contains(c) || !c.is_ascii_alphanumeric() {
+            return Ok(()); // valid code or would break JSON structure
+        }
+        // Replace the first action code of the irrelevant table.
+        let marker = "\"irrelevant\": \"";
+        let at = json.find(marker).expect("irrelevant field") + marker.len();
+        let mut corrupted = json.clone();
+        corrupted.replace_range(at..at + 1, &c.to_string());
+        prop_assert!(PolicyTable::from_json(&corrupted).is_err());
+    }
+}

@@ -1,9 +1,11 @@
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
 use seleth_chain::RewardSchedule;
+use seleth_mdp::PolicyTable;
 
 /// Error raised by [`SimConfigBuilder::build`].
 #[derive(Debug, Clone, PartialEq)]
@@ -22,6 +24,8 @@ pub enum SimError {
     NoHonestMiners,
     /// A run must produce at least one block.
     NoBlocks,
+    /// [`PoolStrategy::Table`] requires a policy table (and vice versa).
+    PolicyMismatch,
 }
 
 impl fmt::Display for SimError {
@@ -35,6 +39,11 @@ impl fmt::Display for SimError {
             }
             SimError::NoHonestMiners => write!(f, "at least one honest miner is required"),
             SimError::NoBlocks => write!(f, "block budget must be positive"),
+            SimError::PolicyMismatch => write!(
+                f,
+                "the Table strategy and a policy table must be set together \
+                 (use SimConfigBuilder::policy)"
+            ),
         }
     }
 }
@@ -62,6 +71,13 @@ pub enum PoolStrategy {
     /// keep mining on the private branch. Gives up only when the public
     /// chain is strictly longer.
     LeadStubborn,
+    /// Replay an exported MDP policy artifact
+    /// ([`seleth_mdp::PolicyTable`]): the pool consults the table before
+    /// every block event and executes the prescribed
+    /// adopt/override/match/wait over the real block tree. Set via
+    /// [`SimConfigBuilder::policy`], which installs the table alongside
+    /// this marker.
+    Table,
 }
 
 /// Configuration of one simulation run.
@@ -85,6 +101,9 @@ pub struct SimConfig {
     seed: u64,
     schedule: RewardSchedule,
     strategy: PoolStrategy,
+    /// Shared so that cloning per seed (`with_seed` in `multi::run_many`)
+    /// never copies the action arrays.
+    policy: Option<Arc<PolicyTable>>,
 }
 
 impl SimConfig {
@@ -128,6 +147,12 @@ impl SimConfig {
         self.strategy
     }
 
+    /// The policy table replayed by [`PoolStrategy::Table`] (`None` for
+    /// the hand-coded strategies).
+    pub fn policy(&self) -> Option<&PolicyTable> {
+        self.policy.as_deref()
+    }
+
     /// A copy with a different seed (used for multi-run averaging).
     pub fn with_seed(&self, seed: u64) -> Self {
         SimConfig {
@@ -147,6 +172,7 @@ pub struct SimConfigBuilder {
     seed: u64,
     schedule: RewardSchedule,
     strategy: PoolStrategy,
+    policy: Option<Arc<PolicyTable>>,
 }
 
 impl Default for SimConfigBuilder {
@@ -159,6 +185,7 @@ impl Default for SimConfigBuilder {
             seed: 0,
             schedule: RewardSchedule::ethereum(),
             strategy: PoolStrategy::Selfish,
+            policy: None,
         }
     }
 }
@@ -206,12 +233,21 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Have the pool replay `table` ([`PoolStrategy::Table`]). Implies
+    /// `strategy(PoolStrategy::Table)`.
+    pub fn policy(&mut self, table: PolicyTable) -> &mut Self {
+        self.policy = Some(Arc::new(table));
+        self.strategy = PoolStrategy::Table;
+        self
+    }
+
     /// Validate and produce the configuration.
     ///
     /// # Errors
     ///
-    /// Returns [`SimError`] if `alpha ∉ [0, 1)`, `gamma ∉ [0, 1]`, there are
-    /// no honest miners, or the block budget is zero.
+    /// Returns [`SimError`] if `alpha ∉ [0, 1)`, `gamma ∉ [0, 1]`, there
+    /// are no honest miners, the block budget is zero, or exactly one of
+    /// [`PoolStrategy::Table`] / a policy table is set.
     pub fn build(&self) -> Result<SimConfig, SimError> {
         if !self.alpha.is_finite() || !(0.0..1.0).contains(&self.alpha) {
             return Err(SimError::InvalidAlpha { alpha: self.alpha });
@@ -225,6 +261,9 @@ impl SimConfigBuilder {
         if self.blocks == 0 {
             return Err(SimError::NoBlocks);
         }
+        if (self.strategy == PoolStrategy::Table) != self.policy.is_some() {
+            return Err(SimError::PolicyMismatch);
+        }
         Ok(SimConfig {
             alpha: self.alpha,
             gamma: self.gamma,
@@ -233,6 +272,7 @@ impl SimConfigBuilder {
             seed: self.seed,
             schedule: self.schedule.clone(),
             strategy: self.strategy,
+            policy: self.policy.clone(),
         })
     }
 }
@@ -278,11 +318,39 @@ mod tests {
     fn strategy_defaults_to_selfish() {
         let c = SimConfig::builder().build().unwrap();
         assert_eq!(c.strategy(), PoolStrategy::Selfish);
+        assert!(c.policy().is_none());
         let h = SimConfig::builder()
             .strategy(PoolStrategy::Honest)
             .build()
             .unwrap();
         assert_eq!(h.strategy(), PoolStrategy::Honest);
+    }
+
+    #[test]
+    fn policy_builder_installs_table_strategy() {
+        let table = PolicyTable::honest(0.3, 0.5, 8);
+        let c = SimConfig::builder().policy(table.clone()).build().unwrap();
+        assert_eq!(c.strategy(), PoolStrategy::Table);
+        assert_eq!(c.policy(), Some(&table));
+        // with_seed keeps the (shared) table.
+        let d = c.with_seed(9);
+        assert_eq!(d.policy(), Some(&table));
+    }
+
+    #[test]
+    fn table_strategy_without_table_is_rejected() {
+        assert!(matches!(
+            SimConfig::builder().strategy(PoolStrategy::Table).build(),
+            Err(SimError::PolicyMismatch)
+        ));
+        // ... and installing a table then switching strategy is too.
+        assert!(matches!(
+            SimConfig::builder()
+                .policy(PolicyTable::honest(0.3, 0.5, 8))
+                .strategy(PoolStrategy::Selfish)
+                .build(),
+            Err(SimError::PolicyMismatch)
+        ));
     }
 
     #[test]

@@ -11,6 +11,23 @@
 //! Unlike the analytical model, blocks here are real: the engine maintains
 //! a [`BlockTree`], publication status, and per-block uncle references
 //! created under Ethereum's validity rules at mining time.
+//!
+//! # Policy playback
+//!
+//! Besides the three hand-coded strategies, the engine can replay an
+//! exported MDP policy artifact ([`seleth_mdp::PolicyTable`],
+//! [`crate::config::PoolStrategy::Table`]). Playback follows the MDP's
+//! decision structure: before every block event the pool consults the
+//! table at the live `(a, h, fork)` state and executes the prescribed
+//! action over the real block tree — *adopt* (abandon the private branch),
+//! *override* (publish `h + 1` blocks), *match* (publish a matching
+//! prefix, splitting honest mining by `γ`), or *wait*. The fork qualifier
+//! is tracked exactly as in the MDP: *irrelevant* after a pool block,
+//! *relevant* after an honest block, *active* while a published match race
+//! is live. Fallback semantics: any state outside the table's truncation —
+//! and any action illegal in the live state — degrades to a forced
+//! *adopt*. Table lookups are flat-array arithmetic; the playback hot path
+//! allocates nothing beyond what the block tree itself needs.
 
 use std::collections::{HashMap, HashSet};
 
@@ -19,6 +36,7 @@ use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha12Rng;
 
 use seleth_chain::{BlockId, BlockTree, MinerId};
+use seleth_mdp::{Action, Fork};
 
 use crate::config::{PoolStrategy, SimConfig};
 use crate::stats::SimReport;
@@ -43,6 +61,9 @@ pub struct Simulation {
     published_count: usize,
     /// The honest public branch above `fork_base`, oldest first.
     honest_branch: Vec<BlockId>,
+    /// MDP fork qualifier, maintained by the policy-playback executor
+    /// (the hand-coded strategies ignore it).
+    fork: Fork,
     // --- statistics ---
     blocks_mined: u64,
     state_visits: HashMap<(u32, u32), u64>,
@@ -63,6 +84,7 @@ impl Simulation {
             private: Vec::new(),
             published_count: 0,
             honest_branch: Vec::new(),
+            fork: Fork::Irrelevant,
             blocks_mined: 0,
             state_visits: HashMap::new(),
         }
@@ -90,6 +112,7 @@ impl Simulation {
         self.private.clear();
         self.published_count = 0;
         self.honest_branch.clear();
+        self.fork = Fork::Irrelevant;
         self.blocks_mined = 0;
         self.state_visits.clear();
     }
@@ -124,15 +147,25 @@ impl Simulation {
     }
 
     /// Mine exactly one block (pool with probability `α`, honest
-    /// otherwise) and apply the strategy updates.
+    /// otherwise) and apply the strategy updates. Under
+    /// [`PoolStrategy::Table`] the pool's table action is applied *before*
+    /// the block event, mirroring the MDP's decision order.
     pub fn step(&mut self) {
+        if self.config.strategy() == PoolStrategy::Table {
+            self.policy_act();
+        }
         let pool_wins = self.rng.gen_bool(self.config.alpha());
-        match (pool_wins, self.config.strategy()) {
-            (true, PoolStrategy::Honest) => self.honest_mines(POOL),
-            (true, PoolStrategy::Selfish | PoolStrategy::LeadStubborn) => self.pool_mines(),
-            (false, _) => {
-                let id = MinerId(self.rng.gen_range(1..=self.config.n_honest()));
-                self.honest_mines(id);
+        if pool_wins {
+            match self.config.strategy() {
+                PoolStrategy::Honest => self.honest_mines(POOL),
+                PoolStrategy::Selfish | PoolStrategy::LeadStubborn => self.pool_mines(),
+                PoolStrategy::Table => self.policy_pool_mines(),
+            }
+        } else {
+            let id = MinerId(self.rng.gen_range(1..=self.config.n_honest()));
+            match self.config.strategy() {
+                PoolStrategy::Table => self.policy_honest_mines(id),
+                _ => self.honest_mines(id),
             }
         }
         self.blocks_mined += 1;
@@ -254,6 +287,134 @@ impl Simulation {
     }
 
     // ------------------------------------------------------------------
+    // Policy playback (PoolStrategy::Table): execute an exported MDP
+    // policy over the real block tree.
+    // ------------------------------------------------------------------
+
+    /// Consult the table at the live `(a, h, fork)` state and execute the
+    /// prescribed action.
+    ///
+    /// Fallback semantics (both documented and tested): if the live state
+    /// lies outside the table's truncation region, or the table prescribes
+    /// an action that is illegal in the live state (override without a
+    /// longer chain, match without a relevant length-`h ≥ 1` race), the
+    /// pool performs a forced **adopt** — it concedes the epoch and
+    /// returns to the table's covered region within one action.
+    fn policy_act(&mut self) {
+        let table = self.config.policy().expect("Table strategy has a table");
+        let a = self.private.len() as u32;
+        let h = self.honest_branch.len() as u32;
+        let action = match table.action(a, h, self.fork) {
+            Some(Action::Override) if a > h => Action::Override,
+            Some(Action::Match) if self.fork == Fork::Relevant && a >= h && h >= 1 => Action::Match,
+            Some(Action::Wait) => Action::Wait,
+            // Out-of-table states and illegal prescriptions fall back to
+            // the always-legal resolution.
+            _ => Action::Adopt,
+        };
+        match action {
+            Action::Wait => {}
+            Action::Adopt => self.policy_adopt(),
+            Action::Override => self.policy_override(),
+            Action::Match => self.policy_match(),
+        }
+    }
+
+    /// *Adopt*: give up the private branch and mine on the honest tip.
+    /// Unpublished private blocks are abandoned (they stay unpublished and
+    /// settle as stale); an already-published prefix stays in the tree as
+    /// an uncle candidate.
+    fn policy_adopt(&mut self) {
+        match self.honest_branch.last() {
+            Some(&tip) => self.reset_epoch(tip),
+            None => {
+                // h = 0: nothing to adopt onto; just discard the private
+                // branch. No prefix can be published at h = 0 (matching
+                // requires an honest block), so nothing public is dropped.
+                debug_assert_eq!(self.published_count, 0);
+                self.private.clear();
+                self.published_count = 0;
+            }
+        }
+        self.fork = Fork::Irrelevant;
+    }
+
+    /// *Override*: publish the first `h + 1` private blocks, orphaning the
+    /// honest branch; the fork base moves to the last published block.
+    fn policy_override(&mut self) {
+        let h = self.honest_branch.len();
+        debug_assert!(self.private.len() > h, "override needs a > h");
+        for i in 0..=h {
+            self.publish(self.private[i]);
+        }
+        let new_base = self.private[h];
+        self.private.drain(..=h);
+        self.published_count = 0;
+        self.honest_branch.clear();
+        self.fork_base = new_base;
+        self.fork = Fork::Irrelevant;
+    }
+
+    /// *Match*: publish a private prefix of length `h`, splitting the
+    /// network between two equal-length public branches.
+    fn policy_match(&mut self) {
+        let h = self.honest_branch.len();
+        debug_assert!(self.private.len() >= h && h >= 1);
+        for i in self.published_count..h {
+            self.publish(self.private[i]);
+        }
+        self.published_count = h;
+        self.fork = Fork::Active;
+    }
+
+    /// Pool block under playback: always mined privately (publication is
+    /// the policy's job). A live match race stays active — the MDP's
+    /// `α`-branch of the *match* dynamics.
+    fn policy_pool_mines(&mut self) {
+        let parent = self.private.last().copied().unwrap_or(self.fork_base);
+        let block = self.mint(parent, POOL);
+        self.private.push(block);
+        if self.fork != Fork::Active {
+            self.fork = Fork::Irrelevant;
+        }
+    }
+
+    /// Honest block under playback. During an active race the miner picks
+    /// the pool's published prefix with probability `γ` (resolving the
+    /// race for the pool — the MDP's `γβ` branch); otherwise the honest
+    /// branch simply grows and any race falls back to *relevant*.
+    fn policy_honest_mines(&mut self, miner: MinerId) {
+        if self.fork == Fork::Active {
+            debug_assert_eq!(
+                self.published_count,
+                self.honest_branch.len(),
+                "an active race is two equal-length public branches"
+            );
+            if self.rng.gen_bool(self.config.gamma()) {
+                // The pool's h published blocks win the epoch; the honest
+                // branch is orphaned and the new honest block starts the
+                // next epoch on top of the prefix.
+                let prefix_tip = self.private[self.published_count - 1];
+                let block = self.mint(prefix_tip, miner);
+                self.publish(block);
+                let won = self.published_count;
+                self.fork_base = prefix_tip;
+                self.private.drain(..won);
+                self.published_count = 0;
+                self.honest_branch.clear();
+                self.honest_branch.push(block);
+                self.fork = Fork::Relevant;
+                return;
+            }
+        }
+        let parent = self.honest_branch.last().copied().unwrap_or(self.fork_base);
+        let block = self.mint(parent, miner);
+        self.publish(block);
+        self.honest_branch.push(block);
+        self.fork = Fork::Relevant;
+    }
+
+    // ------------------------------------------------------------------
     // Plumbing
     // ------------------------------------------------------------------
 
@@ -369,6 +530,17 @@ mod tests {
         }
         fn force_honest(&mut self) {
             self.honest_mines(MinerId(1));
+            self.blocks_mined += 1;
+        }
+        /// Scripted playback steps: decision point, then a forced winner.
+        fn force_pool_policy(&mut self) {
+            self.policy_act();
+            self.policy_pool_mines();
+            self.blocks_mined += 1;
+        }
+        fn force_honest_policy(&mut self) {
+            self.policy_act();
+            self.policy_honest_mines(MinerId(1));
             self.blocks_mined += 1;
         }
     }
@@ -581,6 +753,165 @@ mod tests {
         let (reg, unc, stale) = report.block_type_fractions();
         assert!((reg + unc + stale - 1.0).abs() < 1e-12);
         assert!(unc > 0.0, "stubborn racing should orphan blocks");
+    }
+
+    fn table_sim(table: seleth_mdp::PolicyTable, alpha: f64, gamma: f64, seed: u64) -> Simulation {
+        let config = SimConfig::builder()
+            .alpha(alpha)
+            .gamma(gamma)
+            .n_honest(99)
+            .blocks(u64::MAX) // stepped manually
+            .seed(seed)
+            .policy(table)
+            .build()
+            .unwrap();
+        Simulation::new(config)
+    }
+
+    /// A table that always waits (adopting only where wait is absent from
+    /// the artifact, i.e. outside truncation via fallback).
+    fn all_wait_table(max_len: u32) -> seleth_mdp::PolicyTable {
+        seleth_mdp::PolicyTable::from_fn(
+            0.3,
+            0.5,
+            seleth_mdp::RewardModel::Bitcoin,
+            seleth_chain::Scenario::RegularRate,
+            max_len,
+            0.3,
+            |_, _, _| Action::Wait,
+        )
+    }
+
+    #[test]
+    fn playback_override_settles_the_lead() {
+        // Sapirshtein-style: wait at (1,0) and (2,0); override once honest
+        // catches up. Encode just that far and rely on fallback elsewhere.
+        let table = seleth_mdp::PolicyTable::from_fn(
+            0.3,
+            0.5,
+            seleth_mdp::RewardModel::Bitcoin,
+            seleth_chain::Scenario::RegularRate,
+            8,
+            0.3,
+            |a, h, _| {
+                if a > h {
+                    if h >= 1 {
+                        Action::Override
+                    } else {
+                        Action::Wait
+                    }
+                } else {
+                    Action::Adopt
+                }
+            },
+        );
+        let mut s = table_sim(table, 0.3, 0.5, 1);
+        s.force_pool_policy();
+        s.force_pool_policy();
+        assert_eq!(s.state(), (2, 0), "leads are held privately");
+        s.force_honest_policy();
+        assert_eq!(s.state(), (2, 1));
+        // Next decision point (before any further block) overrides: the
+        // two pool blocks publish and the honest block is orphaned.
+        s.policy_act();
+        assert_eq!(s.state(), (0, 0), "override settled the epoch");
+        assert_eq!(s.tree().max_height(), 2);
+        assert!(s.tree().iter().all(|b| s.is_published(b.id())));
+    }
+
+    #[test]
+    fn playback_match_splits_and_gamma_resolves() {
+        // Always match when possible, γ = 1: every honest block after a
+        // match mines on the pool's prefix, handing the pool the epoch.
+        let table = seleth_mdp::PolicyTable::from_fn(
+            0.3,
+            1.0,
+            seleth_mdp::RewardModel::Bitcoin,
+            seleth_chain::Scenario::RegularRate,
+            8,
+            0.3,
+            |a, h, fork| {
+                if fork == Fork::Relevant && a >= h && h >= 1 {
+                    Action::Match
+                } else if a > h || h == 0 {
+                    Action::Wait
+                } else {
+                    Action::Adopt
+                }
+            },
+        );
+        let mut s = table_sim(table, 0.3, 1.0, 1);
+        s.force_pool_policy(); // (1,0) private
+        s.force_honest_policy(); // (1,1) relevant
+        assert_eq!(s.state(), (1, 1));
+        // The next decision matches (prefix published), and the honest
+        // block mines on the prefix with probability γ = 1: pool wins.
+        s.force_honest_policy();
+        assert_eq!(s.state(), (0, 1), "γβ outcome: pool block won, new epoch");
+        // The pool's block is on the main chain.
+        assert_eq!(s.tree().max_height(), 2);
+    }
+
+    #[test]
+    fn playback_fallback_forces_adopt_outside_truncation() {
+        // An all-wait table truncated at 3: the live state walks out of the
+        // table, at which point the executor must force adopt. The state
+        // can therefore never grow beyond one step past the boundary.
+        let mut s = table_sim(all_wait_table(3), 0.3, 0.5, 7);
+        for _ in 0..2_000 {
+            s.step();
+        }
+        let (max_a, max_h) = s
+            .state_visits
+            .keys()
+            .fold((0, 0), |(ma, mh), &(a, h)| (ma.max(a), mh.max(h)));
+        assert!(
+            max_a <= 4,
+            "private branch must adopt at the boundary: {max_a}"
+        );
+        assert!(
+            max_h <= 4,
+            "honest branch must be adopted at the boundary: {max_h}"
+        );
+        // Adopt abandons unpublished blocks: they settle as stale.
+        let report = s.finalize();
+        assert!(report.reward_report.stale_count > 0);
+    }
+
+    #[test]
+    fn playback_illegal_actions_degrade_to_adopt() {
+        // A malicious/corrupt table prescribing override everywhere: with
+        // a = 0 ≤ h the override is illegal and must degrade to adopt
+        // rather than panic.
+        let table = seleth_mdp::PolicyTable::from_fn(
+            0.3,
+            0.5,
+            seleth_mdp::RewardModel::Bitcoin,
+            seleth_chain::Scenario::RegularRate,
+            6,
+            0.3,
+            |_, _, _| Action::Override,
+        );
+        let mut s = table_sim(table, 0.3, 0.5, 3);
+        for _ in 0..500 {
+            s.step();
+        }
+        let report = s.finalize();
+        assert!(report.reward_report.block_count() >= 500);
+    }
+
+    #[test]
+    fn playback_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut s = table_sim(all_wait_table(6), 0.35, 0.5, seed);
+            for _ in 0..3_000 {
+                s.step();
+            }
+            let r = s.finalize();
+            (r.pool.total(), r.reward_report.regular_count)
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
     }
 
     #[test]

@@ -13,6 +13,13 @@
 //! machine and counts actual rewards — which is what makes it a meaningful
 //! cross-check of the theory (Fig. 8 of the paper).
 //!
+//! Besides the hand-coded strategies the pool can replay an *exported MDP
+//! policy artifact* ([`seleth_mdp::PolicyTable`], installed with
+//! [`SimConfigBuilder::policy`]): the same derive-optimal-then-simulate
+//! loop Sapirshtein et al. close for Bitcoin, here closing the gap between
+//! `seleth-mdp`'s predicted optimal revenue ρ* and Monte-Carlo measurement
+//! (see `tests/policy_playback.rs` and the `optimal_sim` experiment).
+//!
 //! # Quickstart
 //!
 //! ```

@@ -63,5 +63,6 @@ pub mod prelude {
     };
     pub use seleth_core::threshold::{profitability_threshold, ThresholdOptions};
     pub use seleth_core::{Analysis, AnalysisError, ModelParams, RevenueBreakdown, State};
-    pub use seleth_sim::{multi, SimConfig, SimReport, Simulation};
+    pub use seleth_mdp::{MdpConfig, PolicyTable, RewardModel};
+    pub use seleth_sim::{multi, PoolStrategy, SimConfig, SimReport, Simulation};
 }

@@ -25,4 +25,11 @@ echo "==> optimal_sim agreement gate (fast settings)"
 SELETH_RESULTS="$(mktemp -d)" SELETH_RUNS=4 SELETH_BLOCKS=20000 SELETH_MDP_LEN=24 \
     cargo run --release -q -p seleth-bench --bin optimal_sim
 
+echo "==> optimal_delay smoke gate (strategic delay path)"
+# Replays a committed artifact through the strategic delay engine: one
+# Bitcoin point, two delays, small budgets. Output goes to a scratch dir;
+# the committed artifacts are read via SELETH_POLICIES.
+SELETH_RESULTS="$(mktemp -d)" SELETH_POLICIES=results/policies \
+    cargo run --release -q -p seleth-bench --bin optimal_delay -- --smoke
+
 echo "CI OK"

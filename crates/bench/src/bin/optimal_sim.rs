@@ -13,7 +13,8 @@
 //! Artifacts land in `results/policies/` (see the README's "Policy
 //! subsystem" section for the format); the comparison table is written to
 //! `results/optimal_sim.csv`. Environment knobs: `SELETH_RUNS` (8),
-//! `SELETH_BLOCKS` (50 000), `SELETH_MDP_LEN` (30), `SELETH_RESULTS`.
+//! `SELETH_BLOCKS` (50 000), `SELETH_MDP_LEN` (30), `SELETH_RESULTS`,
+//! `SELETH_POLICIES` (artifact directory override).
 
 use seleth_chain::{RewardSchedule, Scenario};
 use seleth_mdp::{MdpConfig, PolicyTable, RewardModel};
@@ -70,7 +71,7 @@ fn main() {
         "alpha", "gamma", "model", "rho_mdp", "us_sim", "std_err", "sigmas", "verdict"
     );
 
-    let policies_dir = seleth_bench::results_dir().join("policies");
+    let policies_dir = seleth_bench::policies_dir();
     let mut rows = Vec::new();
     let mut failed = false;
     for p in &points {

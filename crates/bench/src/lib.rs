@@ -22,7 +22,8 @@
 //! | `strategies`  | Honest vs Algorithm 1 vs Lead-Stubborn, all simulated |
 //! | `optimal`     | MDP-optimal revenue vs Algorithm 1 (Bitcoin + Ethereum) |
 //! | `optimal_sim` | Exported optimal policies replayed in the simulator, gated vs ρ* |
-//! | `delay`       | Propagation-delay sensitivity of the simulator |
+//! | `delay`       | Propagation-delay sensitivity of the simulator (all honest) |
+//! | `optimal_delay` | Optimal artifacts replayed *under delay*: ρ* degradation study (`delay_study.json`) |
 //! | `ablation_truncation` | Model-truncation bias ablation |
 //! | `bench_solver` | Perf trajectory of the numeric kernels (`BENCH_solver.json`) |
 //! | `bench_sim`   | Simulator throughput trajectory (`BENCH_sim.json`) |
@@ -41,6 +42,30 @@ use std::path::PathBuf;
 /// else `./results` relative to the current directory.
 pub fn results_dir() -> PathBuf {
     std::env::var_os("SELETH_RESULTS").map_or_else(|| PathBuf::from("results"), PathBuf::from)
+}
+
+/// Directory holding exported policy artifacts: `$SELETH_POLICIES` if
+/// set, else `policies/` inside [`results_dir`]. The override lets CI
+/// redirect experiment *output* to a scratch directory while still
+/// replaying the committed artifacts.
+pub fn policies_dir() -> PathBuf {
+    std::env::var_os("SELETH_POLICIES")
+        .map_or_else(|| results_dir().join("policies"), PathBuf::from)
+}
+
+/// Write a text file (e.g. hand-rolled JSON) into [`results_dir`],
+/// creating the directory if needed.
+///
+/// # Panics
+///
+/// Panics on I/O failure: experiment binaries have no recovery path and a
+/// loud failure beats silently missing output.
+pub fn write_text(name: &str, contents: &str) -> PathBuf {
+    let dir = results_dir();
+    fs::create_dir_all(&dir).expect("create results directory");
+    let path = dir.join(name);
+    fs::write(&path, contents).expect("write results file");
+    path
 }
 
 /// Write a CSV file into [`results_dir`], creating the directory if needed.
@@ -83,6 +108,23 @@ pub fn cells(values: &[f64]) -> Vec<String> {
     values.iter().map(|v| format!("{v:.6}")).collect()
 }
 
+/// Sample mean and standard error of the mean — the `(mean, std_err)`
+/// pair every multi-run experiment gate is phrased in. Zero standard
+/// error for fewer than two samples.
+pub fn mean_stderr(values: &[f64]) -> (f64, f64) {
+    if values.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    let var = if values.len() > 1 {
+        values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1.0)
+    } else {
+        0.0
+    };
+    (mean, (var / n).sqrt())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -101,7 +143,39 @@ mod tests {
     }
 
     #[test]
+    fn mean_stderr_matches_hand_computation() {
+        assert_eq!(mean_stderr(&[]), (0.0, 0.0));
+        assert_eq!(mean_stderr(&[3.0]), (3.0, 0.0));
+        let (mean, se) = mean_stderr(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((mean - 2.5).abs() < 1e-12);
+        // Sample variance 5/3; standard error sqrt(5/12).
+        assert!((se - (5.0f64 / 12.0).sqrt()).abs() < 1e-12);
+    }
+
+    /// Serializes the tests that mutate `SELETH_*` environment variables.
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn text_files_land_in_results() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        let dir = std::env::temp_dir().join("seleth-bench-text-test");
+        std::env::set_var("SELETH_RESULTS", &dir);
+        let path = write_text("t.json", "{\"ok\": true}\n");
+        let content = std::fs::read_to_string(path).unwrap();
+        assert_eq!(content, "{\"ok\": true}\n");
+        // Policies default to a subdirectory of the results dir...
+        assert_eq!(policies_dir(), dir.join("policies"));
+        // ...unless explicitly redirected.
+        std::env::set_var("SELETH_POLICIES", "/tmp/elsewhere");
+        assert_eq!(policies_dir(), PathBuf::from("/tmp/elsewhere"));
+        std::env::remove_var("SELETH_POLICIES");
+        std::env::remove_var("SELETH_RESULTS");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
     fn csv_roundtrip() {
+        let _guard = ENV_LOCK.lock().unwrap();
         let dir = std::env::temp_dir().join("seleth-bench-test");
         std::env::set_var("SELETH_RESULTS", &dir);
         let path = write_csv(

@@ -280,6 +280,31 @@ impl PolicyTable {
         Some(table[idx])
     }
 
+    /// The action an event-driven replay executor should take in the live
+    /// state `(a, h, fork)`, with the documented fallback semantics
+    /// resolved: states outside the truncated region, and prescriptions
+    /// that are illegal in the live state (*override* without a strictly
+    /// longer private chain, *match* without a relevant race of length
+    /// `h ≥ 1` it can cover), degrade to the always-legal forced *adopt*.
+    ///
+    /// This is the single decision procedure shared by every executor that
+    /// replays artifacts over real block trees (the instant-broadcast
+    /// engine's `PoolStrategy::Table` and the propagation-delay
+    /// simulator's strategic miners), so fallback behaviour cannot drift
+    /// between them. Corrupt or hand-written tables therefore never make a
+    /// replay panic — at worst they concede epochs.
+    #[inline]
+    pub fn decide(&self, a: u32, h: u32, fork: Fork) -> Action {
+        match self.action(a, h, fork) {
+            Some(Action::Override) if a > h => Action::Override,
+            Some(Action::Match) if fork == Fork::Relevant && a >= h && h >= 1 => Action::Match,
+            Some(Action::Wait) => Action::Wait,
+            // Out-of-table states and illegal prescriptions fall back to
+            // the always-legal resolution.
+            _ => Action::Adopt,
+        }
+    }
+
     // ------------------------------------------------------------------
     // Serialization (hand-rolled: the vendored serde is marker-only)
     // ------------------------------------------------------------------
@@ -635,6 +660,44 @@ mod tests {
         assert_eq!(table.action(0, 2, Fork::Relevant), Some(Action::Adopt));
         assert_eq!(table.action(2, 2, Fork::Active), Some(Action::Adopt));
         assert_eq!(table.predicted_revenue(), 0.3);
+    }
+
+    #[test]
+    fn decide_resolves_fallbacks() {
+        // Outside truncation: forced adopt regardless of content.
+        let table = PolicyTable::honest(0.3, 0.5, 4);
+        assert_eq!(table.decide(5, 0, Fork::Irrelevant), Action::Adopt);
+        assert_eq!(table.decide(0, 5, Fork::Relevant), Action::Adopt);
+        // Legal prescriptions pass through.
+        assert_eq!(table.decide(2, 1, Fork::Relevant), Action::Override);
+        assert_eq!(table.decide(0, 1, Fork::Relevant), Action::Adopt);
+
+        // Illegal prescriptions degrade to adopt: override without a lead,
+        // match without a coverable relevant race.
+        let overrides = PolicyTable::from_fn(
+            0.3,
+            0.5,
+            RewardModel::Bitcoin,
+            Scenario::RegularRate,
+            4,
+            0.3,
+            |_, _, _| Action::Override,
+        );
+        assert_eq!(overrides.decide(2, 2, Fork::Relevant), Action::Adopt);
+        assert_eq!(overrides.decide(3, 1, Fork::Relevant), Action::Override);
+        let matches = PolicyTable::from_fn(
+            0.3,
+            0.5,
+            RewardModel::Bitcoin,
+            Scenario::RegularRate,
+            4,
+            0.3,
+            |_, _, _| Action::Match,
+        );
+        assert_eq!(matches.decide(2, 1, Fork::Relevant), Action::Match);
+        assert_eq!(matches.decide(2, 0, Fork::Relevant), Action::Adopt);
+        assert_eq!(matches.decide(1, 2, Fork::Relevant), Action::Adopt);
+        assert_eq!(matches.decide(2, 1, Fork::Active), Action::Adopt);
     }
 
     #[test]

@@ -26,6 +26,22 @@ pub enum SimError {
     NoBlocks,
     /// [`PoolStrategy::Table`] requires a policy table (and vice versa).
     PolicyMismatch,
+    /// A delay-study share vector must be a probability distribution:
+    /// every share finite and non-negative, summing to 1 (the
+    /// [`crate::pools`] helpers produce exactly that). Raised instead of
+    /// silently renormalizing, so typos in hand-written splits fail loudly.
+    InvalidShares {
+        /// Sum of the rejected share vector (NaN if a share was NaN).
+        total: f64,
+    },
+    /// The delay-study strategy vector must assign exactly one strategy
+    /// per miner.
+    StrategyCount {
+        /// Number of miners (length of the share vector).
+        miners: usize,
+        /// Number of strategies supplied.
+        strategies: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -43,6 +59,14 @@ impl fmt::Display for SimError {
                 f,
                 "the Table strategy and a policy table must be set together \
                  (use SimConfigBuilder::policy)"
+            ),
+            SimError::InvalidShares { total } => write!(
+                f,
+                "shares must be finite, non-negative and sum to 1, got a sum of {total}"
+            ),
+            SimError::StrategyCount { miners, strategies } => write!(
+                f,
+                "expected one strategy per miner ({miners} miners, {strategies} strategies)"
             ),
         }
     }

@@ -1,4 +1,4 @@
-//! Propagation-delay study: why uncle rewards exist at all.
+//! Propagation-delay simulator — honest networks *and* strategic playback.
 //!
 //! Section VI of the paper recalls that uncle and nephew rewards were
 //! introduced to counter *centralization bias*: with real propagation
@@ -6,18 +6,39 @@
 //! orphan fewer of them, earning a super-proportional revenue share.
 //! Rewarding stale blocks compresses that advantage.
 //!
-//! This module simulates an **all-honest** network with a propagation
-//! delay: block production is a Poisson process over weighted miners; a
-//! block published at time `t` becomes visible to others at `t + delay`,
-//! while its producer sees it immediately. Each miner mines on the longest
-//! chain *it can see* and references every visible eligible uncle.
-//! Accounting then reuses the standard tree machinery, so the same run can
-//! be scored under Ethereum and Bitcoin reward schedules.
+//! This module simulates a network of weighted miners with a propagation
+//! delay: block production is a Poisson process; a block released at time
+//! `t` becomes visible to other miners at `t + delay`, while its producer
+//! sees it immediately. Each miner carries a [`MinerStrategy`]:
+//!
+//! - [`MinerStrategy::Honest`] miners mine on the longest chain they can
+//!   see, reference every visible eligible uncle, and release every block
+//!   the moment it is mined.
+//! - [`MinerStrategy::Table`] miners replay an exported MDP policy
+//!   artifact ([`seleth_mdp::PolicyTable`]): they keep a **private fork**,
+//!   consult the table at every event they observe (mining a block,
+//!   hearing a released block) in the MDP's decision order, and execute
+//!   the prescribed *adopt / override / match / wait* over the real block
+//!   tree. Lookups go through [`seleth_mdp::PolicyTable::decide`], the
+//!   same fallback-resolving procedure the instant-broadcast engine uses:
+//!   states outside the table's truncation and illegal prescriptions
+//!   degrade to a forced adopt, never a panic.
+//!
+//! This is the regime the MDP itself cannot model — its ρ* is derived in
+//! a zero-delay two-player world — which is exactly what makes the replay
+//! interesting: at `delay = 0` with two miners the strategic run
+//! reproduces the engine's `PoolStrategy::Table` playback (and therefore
+//! ρ*, see `tests/delay_study.rs`); as the delay grows the artifact's
+//! edge degrades, measured by the `optimal_delay` experiment.
+//!
+//! Accounting reuses the standard tree machinery, so the same run can be
+//! scored under Ethereum and Bitcoin reward schedules.
 //!
 //! ```
 //! use seleth_sim::delay::{DelayConfig, DelaySimulation};
 //!
-//! // Two miners, one 10x larger; blocks every 13 "seconds", 6-second delay.
+//! // Three honest miners, one 3x larger; blocks every 13 "seconds",
+//! // 6-second delay.
 //! let config = DelayConfig::builder()
 //!     .shares(vec![0.6, 0.2, 0.2])
 //!     .delay(6.0)
@@ -29,6 +50,32 @@
 //! // The large miner orphans proportionally fewer of its blocks.
 //! assert!(report.stale_fraction(0) <= report.stale_fraction(1) + 0.05);
 //! ```
+//!
+//! Strategic playback:
+//!
+//! ```
+//! use seleth_chain::RewardSchedule;
+//! use seleth_mdp::PolicyTable;
+//! use seleth_sim::delay::{DelayConfig, DelaySimulation};
+//!
+//! // A 35% pool replays the honest baseline table against a 65% miner.
+//! let config = DelayConfig::builder()
+//!     .shares(vec![0.35, 0.65])
+//!     .policy(0, PolicyTable::honest(0.35, 0.0, 12))
+//!     .tie_gamma(0.0)
+//!     .delay(0.0)
+//!     .schedule(RewardSchedule::bitcoin())
+//!     .blocks(4_000)
+//!     .seed(1)
+//!     .build()
+//!     .unwrap();
+//! let report = DelaySimulation::new(config).run();
+//! // Honest play earns the fair share.
+//! assert!((report.revenue_share(0) - 0.35).abs() < 0.05);
+//! ```
+
+use std::collections::VecDeque;
+use std::sync::Arc;
 
 use rand::Rng;
 use rand_chacha::rand_core::SeedableRng;
@@ -38,13 +85,36 @@ use serde::{Deserialize, Serialize};
 use seleth_chain::accounting::{self, MinerRewards};
 use seleth_chain::forkchoice::{longest_chain, TieBreak};
 use seleth_chain::{BlockId, BlockTree, MinerId, RewardSchedule};
+use seleth_mdp::{Action, Fork, PolicyTable};
 
 use crate::config::SimError;
+
+/// The behaviour of one miner in the delay simulator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MinerStrategy {
+    /// Follow the protocol: mine on the best visible tip, reference
+    /// visible uncles, release every block immediately.
+    Honest,
+    /// Replay an exported MDP policy artifact over a private fork,
+    /// consulting the table at every observed event (see the
+    /// [module docs](self)). Shared via [`Arc`] so that cloning a
+    /// configuration per seed never copies the action arrays.
+    Table(Arc<PolicyTable>),
+}
+
+impl MinerStrategy {
+    /// `true` for policy-driven (withholding) miners.
+    pub fn is_strategic(&self) -> bool {
+        matches!(self, MinerStrategy::Table(_))
+    }
+}
 
 /// Configuration of a delay study run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DelayConfig {
     shares: Vec<f64>,
+    strategies: Vec<MinerStrategy>,
+    tie_gamma: f64,
     delay: f64,
     interval: f64,
     blocks: u64,
@@ -56,6 +126,8 @@ pub struct DelayConfig {
 #[derive(Debug, Clone)]
 pub struct DelayConfigBuilder {
     shares: Vec<f64>,
+    strategies: Vec<MinerStrategy>,
+    tie_gamma: f64,
     delay: f64,
     interval: f64,
     blocks: u64,
@@ -67,6 +139,8 @@ impl Default for DelayConfigBuilder {
     fn default() -> Self {
         DelayConfigBuilder {
             shares: vec![0.25; 4],
+            strategies: Vec::new(),
+            tie_gamma: 0.5,
             delay: 6.0,
             interval: 13.0,
             blocks: 100_000,
@@ -77,9 +151,40 @@ impl Default for DelayConfigBuilder {
 }
 
 impl DelayConfigBuilder {
-    /// Hash-power shares per miner (normalized at build).
+    /// Hash-power shares per miner. Must form a probability distribution:
+    /// finite, non-negative, summing to 1 (see [`crate::pools`] for
+    /// ready-made splits) — [`DelayConfigBuilder::build`] rejects anything
+    /// else instead of silently renormalizing.
     pub fn shares(&mut self, shares: Vec<f64>) -> &mut Self {
         self.shares = shares;
+        self
+    }
+
+    /// One [`MinerStrategy`] per miner (default: all honest). May be
+    /// shorter than the share vector — the tail defaults to honest — but
+    /// never longer.
+    pub fn strategies(&mut self, strategies: Vec<MinerStrategy>) -> &mut Self {
+        self.strategies = strategies;
+        self
+    }
+
+    /// Have miner `index` replay `table` ([`MinerStrategy::Table`]);
+    /// miners without an explicit strategy stay honest.
+    pub fn policy(&mut self, index: usize, table: PolicyTable) -> &mut Self {
+        if self.strategies.len() <= index {
+            self.strategies.resize(index + 1, MinerStrategy::Honest);
+        }
+        self.strategies[index] = MinerStrategy::Table(Arc::new(table));
+        self
+    }
+
+    /// Tie-breaking parameter for strategic races: the fraction of honest
+    /// mining power that mines on a strategic miner's published branch
+    /// when it ties the honest public tip (the network model's `γ`,
+    /// Section IV-A). Irrelevant in all-honest networks, where equal-height
+    /// tips resolve first-seen.
+    pub fn tie_gamma(&mut self, gamma: f64) -> &mut Self {
+        self.tie_gamma = gamma;
         self
     }
 
@@ -119,8 +224,13 @@ impl DelayConfigBuilder {
     ///
     /// [`SimError::NoHonestMiners`] without at least two miners (a solo
     /// network has no propagation), [`SimError::NoBlocks`] for an empty
-    /// budget, [`SimError::InvalidAlpha`] if shares are not positive
-    /// finite numbers or the delay/interval are not positive.
+    /// budget, [`SimError::InvalidShares`] unless the shares are a
+    /// probability distribution (finite, non-negative, summing to 1 within
+    /// `1e-6`), [`SimError::StrategyCount`] when the strategy vector
+    /// disagrees with the number of miners, [`SimError::InvalidGamma`] for
+    /// a tie-breaking parameter outside `[0, 1]`, and
+    /// [`SimError::InvalidAlpha`] if the delay/interval are not positive
+    /// finite numbers.
     pub fn build(&self) -> Result<DelayConfig, SimError> {
         if self.shares.len() < 2 {
             return Err(SimError::NoHonestMiners);
@@ -129,11 +239,23 @@ impl DelayConfigBuilder {
             return Err(SimError::NoBlocks);
         }
         let total: f64 = self.shares.iter().sum();
-        if !total.is_finite()
-            || total <= 0.0
-            || self.shares.iter().any(|s| !s.is_finite() || *s < 0.0)
-        {
-            return Err(SimError::InvalidAlpha { alpha: total });
+        if self.shares.iter().any(|s| !s.is_finite() || *s < 0.0) || (total - 1.0).abs() > 1e-6 {
+            return Err(SimError::InvalidShares { total });
+        }
+        if self.strategies.len() > self.shares.len() {
+            return Err(SimError::StrategyCount {
+                miners: self.shares.len(),
+                strategies: self.strategies.len(),
+            });
+        }
+        // Unspecified miners default to honest, so `policy(0, table)`
+        // works without spelling out the whole vector.
+        let mut strategies = self.strategies.clone();
+        strategies.resize(self.shares.len(), MinerStrategy::Honest);
+        if !self.tie_gamma.is_finite() || !(0.0..=1.0).contains(&self.tie_gamma) {
+            return Err(SimError::InvalidGamma {
+                gamma: self.tie_gamma,
+            });
         }
         let timing_ok = self.delay.is_finite()
             && self.delay >= 0.0
@@ -143,7 +265,9 @@ impl DelayConfigBuilder {
             return Err(SimError::InvalidAlpha { alpha: self.delay });
         }
         Ok(DelayConfig {
-            shares: self.shares.iter().map(|s| s / total).collect(),
+            shares: self.shares.clone(),
+            strategies,
+            tie_gamma: self.tie_gamma,
             delay: self.delay,
             interval: self.interval,
             blocks: self.blocks,
@@ -159,9 +283,19 @@ impl DelayConfig {
         DelayConfigBuilder::default()
     }
 
-    /// Normalized hash shares.
+    /// Hash shares (a probability distribution; validated at build).
     pub fn shares(&self) -> &[f64] {
         &self.shares
+    }
+
+    /// Per-miner strategies, parallel to [`DelayConfig::shares`].
+    pub fn strategies(&self) -> &[MinerStrategy] {
+        &self.strategies
+    }
+
+    /// Tie-breaking parameter for strategic races.
+    pub fn tie_gamma(&self) -> f64 {
+        self.tie_gamma
     }
 
     /// RNG seed.
@@ -178,6 +312,50 @@ impl DelayConfig {
     pub fn interval(&self) -> f64 {
         self.interval
     }
+
+    /// Block budget per run.
+    pub fn blocks(&self) -> u64 {
+        self.blocks
+    }
+
+    /// The reward schedule in force.
+    pub fn schedule(&self) -> &RewardSchedule {
+        &self.schedule
+    }
+
+    /// A copy with a different seed (for multi-run averaging; shared
+    /// policy tables are never copied).
+    pub fn with_seed(&self, seed: u64) -> Self {
+        DelayConfig {
+            seed,
+            ..self.clone()
+        }
+    }
+}
+
+/// A strategic miner's private-fork bookkeeping: the delay-world analogue
+/// of the engine's epoch state, except that `h` is *the pool's view* of
+/// the public chain — it lags reality by up to one propagation delay.
+#[derive(Debug)]
+struct Strategist {
+    miner: MinerId,
+    table: Arc<PolicyTable>,
+    /// Last block this miner considers settled; both branches fork here.
+    fork_base: BlockId,
+    /// The private chain above `fork_base`, oldest first.
+    private: Vec<BlockId>,
+    /// How many of `private` have been released.
+    published_count: usize,
+    /// Highest block heard from other miners so far.
+    best_heard: BlockId,
+    /// Heard public-branch length above `fork_base`.
+    h: u64,
+    /// MDP fork qualifier, maintained exactly as in the engine.
+    fork: Fork,
+    /// Released blocks by other miners, not yet heard; a block `b` is
+    /// heard at `pub_time(b) + delay`. Release times never decrease, so
+    /// the queue is sorted by hear time.
+    inbox: VecDeque<BlockId>,
 }
 
 /// The delay-study simulator.
@@ -186,20 +364,25 @@ pub struct DelaySimulation {
     config: DelayConfig,
     rng: ChaCha12Rng,
     tree: BlockTree,
-    /// Publication time per block (creation time; visible to others at
-    /// `+delay`).
+    /// Release time per block (`f64::INFINITY` while withheld); visible to
+    /// non-producers at `+delay`.
     pub_time: Vec<f64>,
-    /// Best (highest, earliest-seen) block among those visible to all.
+    /// Best (highest, earliest-released) block among those visible to all.
     best_public: BlockId,
-    /// Blocks still inside someone's delay window, oldest first.
-    recent: std::collections::VecDeque<BlockId>,
+    /// A competing fully-propagated tip at `best_public`'s height whose
+    /// producer side (strategic vs honest) differs — a live race that
+    /// honest miners split by `tie_gamma`.
+    race: Option<BlockId>,
+    /// Released blocks still inside someone's delay window, oldest first.
+    recent: VecDeque<BlockId>,
+    strategists: Vec<Strategist>,
     now: f64,
 }
 
 /// Outcome of a delay run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DelayReport {
-    /// Normalized hash shares the run used.
+    /// Hash shares the run used.
     pub shares: Vec<f64>,
     /// Per-miner accounting.
     pub report: accounting::RewardReport,
@@ -210,22 +393,65 @@ impl DelaySimulation {
     pub fn new(config: DelayConfig) -> Self {
         let tree = BlockTree::new();
         let rng = ChaCha12Rng::seed_from_u64(config.seed());
-        let best_public = tree.genesis();
+        let genesis = tree.genesis();
+        let strategists = config
+            .strategies()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| match s {
+                MinerStrategy::Honest => None,
+                MinerStrategy::Table(table) => Some(Strategist {
+                    miner: MinerId(i as u32),
+                    table: Arc::clone(table),
+                    fork_base: genesis,
+                    private: Vec::new(),
+                    published_count: 0,
+                    best_heard: genesis,
+                    h: 0,
+                    fork: Fork::Irrelevant,
+                    inbox: VecDeque::new(),
+                }),
+            })
+            .collect();
         DelaySimulation {
             config,
             rng,
             tree,
             pub_time: vec![f64::NEG_INFINITY], // genesis: always visible
-            best_public,
-            recent: std::collections::VecDeque::new(),
+            best_public: genesis,
+            race: None,
+            recent: VecDeque::new(),
+            strategists,
             now: 0.0,
         }
     }
 
     /// Run to the block budget and account the tree.
+    ///
+    /// Finalization mirrors the engine exactly: every strategic miner
+    /// releases the remaining private blocks of its *live* epoch (what a
+    /// pool does when it stops attacking) before the canonical chain is
+    /// chosen, while branches abandoned by earlier adopts stay withheld.
+    /// As in the engine, the closing fork choice is publication-blind —
+    /// an abandoned branch the public chain has not yet overtaken when
+    /// the budget expires can still win `longest_chain`. That end-of-run
+    /// boundary effect is bounded by a single truncation length of
+    /// blocks per run, is shared bit-for-bit with the engine's
+    /// `PoolStrategy::Table` finalization (which the zero-delay
+    /// cross-validation in `tests/delay_study.rs` relies on), and washes
+    /// out in the multi-run study averages.
     pub fn run(mut self) -> DelayReport {
         for _ in 0..self.config.blocks {
             self.step();
+        }
+        for i in 0..self.strategists.len() {
+            let pending: Vec<BlockId> = {
+                let s = &mut self.strategists[i];
+                s.private.drain(s.published_count..).collect()
+            };
+            for b in pending {
+                self.release(b, self.now, self.strategists[i].miner);
+            }
         }
         let chain = longest_chain(&self.tree, TieBreak::FirstSeen);
         let report = accounting::account(&self.tree, &chain, &self.config.schedule);
@@ -241,35 +467,17 @@ impl DelaySimulation {
         self.now += -self.config.interval * u.ln();
         let miner = self.pick_miner();
 
-        // Promote fully propagated recent blocks into the public frontier.
-        let horizon = self.now - self.config.delay;
-        while let Some(&front) = self.recent.front() {
-            if self.pub_time[front.index()] <= horizon {
-                self.recent.pop_front();
-                if self.tree.height(front) > self.tree.height(self.best_public) {
-                    self.best_public = front;
-                }
-            } else {
-                break;
-            }
-        }
+        // Deliver everything that reached a strategic miner before this
+        // mining event (their decisions — and therefore their release
+        // timestamps — happen at hear time, not at the next block).
+        self.deliver_to_strategists();
+        // Promote fully propagated blocks into the shared public frontier.
+        self.promote_public();
 
-        // The miner's view: the global public frontier plus any block it
-        // mined itself that is still propagating.
-        let mut tip = self.best_public;
-        for &b in &self.recent {
-            if self.tree.block(b).miner() == miner && self.tree.height(b) > self.tree.height(tip) {
-                tip = b;
-            }
+        match self.strategists.iter().position(|s| s.miner == miner) {
+            Some(i) => self.strategic_mines(i),
+            None => self.honest_mines(miner),
         }
-
-        let refs = self.collect_refs(tip, miner);
-        let id = self
-            .tree
-            .add_block(tip, miner, &refs)
-            .expect("engine-created ids");
-        self.pub_time.push(self.now);
-        self.recent.push_back(id);
     }
 
     fn pick_miner(&mut self) -> MinerId {
@@ -284,7 +492,251 @@ impl DelaySimulation {
         MinerId(self.config.shares.len() as u32 - 1)
     }
 
-    /// Ethereum uncle referencing against the miner's *visible* blocks.
+    /// `true` if the block was mined by a policy-driven miner.
+    fn is_strategic_block(&self, id: BlockId) -> bool {
+        let m = self.tree.block(id).miner().0 as usize;
+        self.config
+            .strategies
+            .get(m)
+            .is_some_and(MinerStrategy::is_strategic)
+    }
+
+    /// Release a withheld block at time `t`: it enters the propagation
+    /// pipeline and every other strategic miner's inbox.
+    fn release(&mut self, id: BlockId, t: f64, producer: MinerId) {
+        if self.pub_time[id.index()] < f64::INFINITY {
+            return; // already out (e.g. a matched prefix being overridden)
+        }
+        self.pub_time[id.index()] = t;
+        self.recent.push_back(id);
+        for s in &mut self.strategists {
+            if s.miner != producer {
+                s.inbox.push_back(id);
+            }
+        }
+    }
+
+    /// Promote fully propagated blocks into the shared honest frontier,
+    /// tracking strategic-vs-honest races at the frontier height.
+    fn promote_public(&mut self) {
+        let horizon = self.now - self.config.delay;
+        while let Some(&front) = self.recent.front() {
+            if self.pub_time[front.index()] > horizon {
+                break;
+            }
+            self.recent.pop_front();
+            let h = self.tree.height(front);
+            let best_h = self.tree.height(self.best_public);
+            if h > best_h {
+                self.best_public = front;
+                self.race = None;
+            } else if h == best_h
+                && self.race.is_none()
+                && self.is_strategic_block(front) != self.is_strategic_block(self.best_public)
+            {
+                self.race = Some(front);
+            }
+        }
+    }
+
+    /// Process every pending hear event up to `self.now`, globally in
+    /// chronological order (strategists' reactions can release blocks that
+    /// other strategists then hear).
+    fn deliver_to_strategists(&mut self) {
+        loop {
+            let mut next: Option<(f64, usize)> = None;
+            for (i, s) in self.strategists.iter().enumerate() {
+                if let Some(&b) = s.inbox.front() {
+                    let t = self.pub_time[b.index()] + self.config.delay;
+                    if t <= self.now && next.is_none_or(|(bt, _)| t < bt) {
+                        next = Some((t, i));
+                    }
+                }
+            }
+            let Some((t, i)) = next else { break };
+            let block = self.strategists[i].inbox.pop_front().expect("peeked");
+            self.hear(i, block, t);
+        }
+    }
+
+    /// Strategic miner `i` hears `block` at time `t`: update its private
+    /// view of the `(a, h, fork)` state and consult the table.
+    fn hear(&mut self, i: usize, block: BlockId, t: f64) {
+        let Self {
+            tree, strategists, ..
+        } = self;
+        let s = &mut strategists[i];
+        // Only a new best tip changes the MDP state; natural-fork losers
+        // at or below the known height carry no decision weight.
+        if tree.height(block) <= tree.height(s.best_heard) {
+            return;
+        }
+        s.best_heard = block;
+        let base_h = tree.height(s.fork_base);
+        let tip_h = tree.height(block);
+        if tip_h <= base_h {
+            return;
+        }
+        let anchor = tree.ancestor_at(block, base_h).expect("height checked");
+        if anchor == s.fork_base {
+            // How much of our released prefix the heard chain builds on.
+            let mut k = 0usize;
+            while k < s.published_count
+                && tree.ancestor_at(block, base_h + k as u64 + 1) == Some(s.private[k])
+            {
+                k += 1;
+            }
+            if k > 0 {
+                // The network adopted our published prefix (the MDP's γβ
+                // outcome): those blocks are settled wins; rebase on them.
+                s.fork_base = s.private[k - 1];
+                s.private.drain(..k);
+                s.published_count -= k;
+            }
+            s.h = tip_h - tree.height(s.fork_base);
+            s.fork = Fork::Relevant;
+        } else {
+            // A branch that forked below our epoch (e.g. honest blocks
+            // released before they heard an override) — outside the MDP's
+            // state abstraction. If it has caught up with the private
+            // chain the epoch is lost: forced adopt. While we are still
+            // strictly ahead, ignore it.
+            if tip_h >= base_h + s.private.len() as u64 {
+                s.fork_base = block;
+                s.private.clear();
+                s.published_count = 0;
+                s.h = 0;
+                s.fork = Fork::Irrelevant;
+            }
+            return;
+        }
+        self.consult(i, t);
+    }
+
+    /// Consult the table at the live state; decisions (and the release
+    /// timestamps they produce) happen at event time `t`.
+    fn consult(&mut self, i: usize, t: f64) {
+        let s = &self.strategists[i];
+        let a = u32::try_from(s.private.len()).unwrap_or(u32::MAX);
+        let h = u32::try_from(s.h).unwrap_or(u32::MAX);
+        match s.table.decide(a, h, s.fork) {
+            Action::Wait => {}
+            Action::Adopt => self.strategic_adopt(i),
+            Action::Override => self.strategic_override(i, t),
+            Action::Match => self.strategic_match(i, t),
+        }
+    }
+
+    /// *Adopt*: concede the epoch — mine on the best heard tip, abandoning
+    /// unreleased private blocks (they settle as stale).
+    fn strategic_adopt(&mut self, i: usize) {
+        let s = &mut self.strategists[i];
+        if self.tree.height(s.best_heard) > self.tree.height(s.fork_base) {
+            s.fork_base = s.best_heard;
+        }
+        s.private.clear();
+        s.published_count = 0;
+        s.h = 0;
+        s.fork = Fork::Irrelevant;
+    }
+
+    /// *Override*: release the first `h + 1` private blocks, outracing the
+    /// heard public branch; the fork base moves to the last released block.
+    fn strategic_override(&mut self, i: usize, t: f64) {
+        let (to_release, producer) = {
+            let s = &mut self.strategists[i];
+            let h = usize::try_from(s.h).unwrap_or(usize::MAX);
+            debug_assert!(s.private.len() > h, "override needs a > h");
+            let released: Vec<BlockId> = s.private.drain(..=h).collect();
+            s.fork_base = *released.last().expect("h + 1 >= 1 blocks");
+            s.published_count = s.published_count.saturating_sub(h + 1);
+            s.h = 0;
+            s.fork = Fork::Irrelevant;
+            (released, s.miner)
+        };
+        for b in to_release {
+            self.release(b, t, producer);
+        }
+    }
+
+    /// *Match*: release a private prefix of length `h`, tying the heard
+    /// public branch; honest miners split by `tie_gamma` once it
+    /// propagates.
+    fn strategic_match(&mut self, i: usize, t: f64) {
+        let (to_release, producer) = {
+            let s = &mut self.strategists[i];
+            let h = usize::try_from(s.h).unwrap_or(usize::MAX);
+            debug_assert!(s.private.len() >= h && h >= 1);
+            let released: Vec<BlockId> = s.private[s.published_count.min(h)..h].to_vec();
+            s.published_count = h;
+            s.fork = Fork::Active;
+            (released, s.miner)
+        };
+        for b in to_release {
+            self.release(b, t, producer);
+        }
+    }
+
+    /// A strategic miner mines: always privately (releasing is the
+    /// policy's job), on its own fork; then a decision point.
+    fn strategic_mines(&mut self, i: usize) {
+        let (parent, miner) = {
+            let s = &self.strategists[i];
+            (s.private.last().copied().unwrap_or(s.fork_base), s.miner)
+        };
+        let refs = self.collect_refs(parent, miner);
+        let id = self
+            .tree
+            .add_block(parent, miner, &refs)
+            .expect("engine-created ids");
+        self.pub_time.push(f64::INFINITY);
+        let s = &mut self.strategists[i];
+        s.private.push(id);
+        if s.fork != Fork::Active {
+            s.fork = Fork::Irrelevant;
+        }
+        self.consult(i, self.now);
+    }
+
+    /// An honest miner mines on the best tip it can see and releases the
+    /// block immediately.
+    fn honest_mines(&mut self, miner: MinerId) {
+        // The shared public frontier, with a live strategic race split by
+        // tie_gamma...
+        let mut tip = self.best_public;
+        if let Some(contender) = self.race {
+            let (strategic, honest) = if self.is_strategic_block(self.best_public) {
+                (self.best_public, contender)
+            } else {
+                (contender, self.best_public)
+            };
+            tip = if self.rng.gen_bool(self.config.tie_gamma) {
+                strategic
+            } else {
+                honest
+            };
+        }
+        // ...plus any block the miner produced itself that is still
+        // propagating.
+        for &b in &self.recent {
+            if self.tree.block(b).miner() == miner && self.tree.height(b) > self.tree.height(tip) {
+                tip = b;
+            }
+        }
+
+        let refs = self.collect_refs(tip, miner);
+        let id = self
+            .tree
+            .add_block(tip, miner, &refs)
+            .expect("engine-created ids");
+        self.pub_time.push(f64::INFINITY);
+        self.release(id, self.now, miner);
+    }
+
+    /// Ethereum uncle referencing against the blocks *visible to the
+    /// miner*: released and propagated, or released and self-mined.
+    /// Withheld blocks are invisible to everyone — abandoning a private
+    /// branch leaves plain stales, exactly like the engine.
     fn collect_refs(&self, parent: BlockId, miner: MinerId) -> Vec<BlockId> {
         let schedule = &self.config.schedule;
         let max_d = schedule.max_uncle_distance();
@@ -319,8 +771,9 @@ impl DelaySimulation {
                 break;
             }
             for &u in self.tree.children(a) {
-                let visible =
-                    self.pub_time[u.index()] <= horizon || self.tree.block(u).miner() == miner;
+                let released = self.pub_time[u.index()] < f64::INFINITY;
+                let visible = self.pub_time[u.index()] <= horizon
+                    || (released && self.tree.block(u).miner() == miner);
                 if on_chain.contains(&u) || referenced.contains(&u) || !visible {
                     continue;
                 }
@@ -345,6 +798,25 @@ impl DelayReport {
         let total = self.report.total_reward();
         if total > 0.0 {
             self.miner(i).total() / total
+        } else {
+            0.0
+        }
+    }
+
+    /// Miner `i`'s absolute revenue under the paper's `scenario`
+    /// normalization: total reward per normalized block slot (regular
+    /// blocks, or regular + uncle blocks) — the delay-world analogue of
+    /// the engine's `SimReport::absolute_pool`, and the quantity
+    /// comparable against an artifact's predicted ρ*. Under the Bitcoin
+    /// schedule it coincides with [`DelayReport::revenue_share`].
+    pub fn absolute_revenue(&self, i: usize, scenario: seleth_chain::Scenario) -> f64 {
+        let r = self.report.regular_count as f64;
+        let norm = match scenario {
+            seleth_chain::Scenario::RegularRate => r,
+            seleth_chain::Scenario::RegularPlusUncleRate => r + self.report.uncle_count as f64,
+        };
+        if norm > 0.0 {
+            self.miner(i).total() / norm
         } else {
             0.0
         }
@@ -376,6 +848,8 @@ impl DelayReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use seleth_chain::Scenario;
+    use seleth_mdp::RewardModel;
 
     fn run(shares: Vec<f64>, delay: f64, schedule: RewardSchedule, seed: u64) -> DelayReport {
         let config = DelayConfig::builder()
@@ -460,11 +934,237 @@ mod tests {
             DelayConfig::builder().shares(vec![1.0]).build(),
             Err(SimError::NoHonestMiners)
         ));
+        // Share vectors must be distributions — no silent renormalization.
+        assert!(matches!(
+            DelayConfig::builder().shares(vec![2.0, 6.0]).build(),
+            Err(SimError::InvalidShares { total }) if (total - 8.0).abs() < 1e-12
+        ));
+        assert!(matches!(
+            DelayConfig::builder().shares(vec![-0.2, 1.2]).build(),
+            Err(SimError::InvalidShares { .. })
+        ));
+        assert!(matches!(
+            DelayConfig::builder().shares(vec![f64::NAN, 0.5]).build(),
+            Err(SimError::InvalidShares { .. })
+        ));
         assert!(DelayConfig::builder()
-            .shares(vec![2.0, 6.0])
+            .shares(vec![0.25, 0.75])
             .build()
             .is_ok());
         assert!(DelayConfig::builder().delay(-1.0).build().is_err());
         assert!(DelayConfig::builder().blocks(0).build().is_err());
+        assert!(matches!(
+            DelayConfig::builder().tie_gamma(1.5).build(),
+            Err(SimError::InvalidGamma { .. })
+        ));
+        // Strategy vectors must match the miner count.
+        assert!(matches!(
+            DelayConfig::builder()
+                .shares(vec![0.5, 0.5])
+                .strategies(vec![MinerStrategy::Honest; 3])
+                .build(),
+            Err(SimError::StrategyCount {
+                miners: 2,
+                strategies: 3
+            })
+        ));
+        // pools helpers produce accepted splits.
+        assert!(DelayConfig::builder()
+            .shares(crate::pools::shares_with_strategist(0.3))
+            .build()
+            .is_ok());
+    }
+
+    fn strategic_run(
+        table: PolicyTable,
+        alpha: f64,
+        gamma: f64,
+        delay: f64,
+        schedule: RewardSchedule,
+        blocks: u64,
+        seed: u64,
+    ) -> DelayReport {
+        let config = DelayConfig::builder()
+            .shares(vec![alpha, 1.0 - alpha])
+            .policy(0, table)
+            .tie_gamma(gamma)
+            .delay(delay)
+            .blocks(blocks)
+            .seed(seed)
+            .schedule(schedule)
+            .build()
+            .unwrap();
+        DelaySimulation::new(config).run()
+    }
+
+    #[test]
+    fn strategic_runs_are_deterministic_per_seed() {
+        let mk = |seed| {
+            strategic_run(
+                PolicyTable::honest(0.35, 0.5, 10),
+                0.35,
+                0.5,
+                3.0,
+                RewardSchedule::ethereum(),
+                10_000,
+                seed,
+            )
+        };
+        let (a, b, c) = (mk(5), mk(5), mk(6));
+        assert_eq!(a.report.total_reward(), b.report.total_reward());
+        assert_eq!(a.miner(0).total(), b.miner(0).total());
+        assert_ne!(a.report.total_reward(), c.report.total_reward());
+    }
+
+    #[test]
+    fn honest_table_at_zero_delay_earns_fair_share() {
+        let r = strategic_run(
+            PolicyTable::honest(0.3, 0.0, 12),
+            0.3,
+            0.0,
+            0.0,
+            RewardSchedule::bitcoin(),
+            40_000,
+            7,
+        );
+        // Publishing every lead immediately at zero delay forks nothing.
+        assert_eq!(r.orphan_rate(), 0.0);
+        assert!(
+            (r.revenue_share(0) - 0.3).abs() < 0.02,
+            "honest playback share {}",
+            r.revenue_share(0)
+        );
+    }
+
+    /// A solved Bitcoin-model optimal table at `(α, γ)` — small truncation
+    /// keeps unit-test solves cheap.
+    fn solved_table(alpha: f64, gamma: f64) -> PolicyTable {
+        let config =
+            seleth_mdp::MdpConfig::new(alpha, gamma, RewardModel::Bitcoin).with_max_len(16);
+        let solution = config.solve().expect("mdp solve");
+        PolicyTable::from_solution(&config, &solution)
+    }
+
+    #[test]
+    fn withholding_earns_more_than_fair_share_at_zero_delay() {
+        // The solved optimal policy at α = 0.4, γ = 0 predicts ρ* ≈ 0.487;
+        // its zero-delay replay must comfortably clear the fair share.
+        let r = strategic_run(
+            solved_table(0.4, 0.0),
+            0.4,
+            0.0,
+            0.0,
+            RewardSchedule::bitcoin(),
+            60_000,
+            11,
+        );
+        assert!(
+            r.revenue_share(0) > 0.44,
+            "withholding share {} should clear alpha 0.4",
+            r.revenue_share(0)
+        );
+    }
+
+    #[test]
+    fn delay_degrades_the_strategic_edge() {
+        // The tentpole claim, in miniature: the same optimal artifact earns
+        // less once its overrides race a propagation delay (honest miners
+        // keep extending the branch it tries to orphan until they hear it).
+        let table = solved_table(0.4, 0.0);
+        let fast = strategic_run(
+            table.clone(),
+            0.4,
+            0.0,
+            0.0,
+            RewardSchedule::bitcoin(),
+            60_000,
+            13,
+        );
+        let slow = strategic_run(table, 0.4, 0.0, 9.0, RewardSchedule::bitcoin(), 60_000, 13);
+        assert!(
+            slow.revenue_share(0) < fast.revenue_share(0) - 0.01,
+            "delay must cost the strategist: {} vs {}",
+            slow.revenue_share(0),
+            fast.revenue_share(0)
+        );
+    }
+
+    #[test]
+    fn corrupt_tables_degrade_to_adopt_without_panic() {
+        // Override-everywhere is illegal half the time; match-everywhere
+        // almost always; every prescription must resolve via the shared
+        // PolicyTable::decide fallback, never a panic — including under
+        // delay, where overrides can lose races.
+        for (bad, seed) in [(Action::Override, 21u64), (Action::Match, 22)] {
+            let table = PolicyTable::from_fn(
+                0.3,
+                0.5,
+                RewardModel::Bitcoin,
+                Scenario::RegularRate,
+                5,
+                0.3,
+                move |_, _, _| bad,
+            );
+            let r = strategic_run(
+                table,
+                0.3,
+                0.5,
+                5.0,
+                RewardSchedule::ethereum(),
+                8_000,
+                seed,
+            );
+            assert_eq!(r.report.block_count(), 8_000);
+        }
+    }
+
+    #[test]
+    fn out_of_truncation_states_force_adopt() {
+        // An all-wait table truncated at 3: the private branch must be
+        // conceded at the boundary, so the pool's stale blocks exist but
+        // the run completes with full accounting.
+        let table = PolicyTable::from_fn(
+            0.45,
+            0.5,
+            RewardModel::Bitcoin,
+            Scenario::RegularRate,
+            3,
+            0.45,
+            |_, _, _| Action::Wait,
+        );
+        let r = strategic_run(table, 0.45, 0.5, 2.0, RewardSchedule::bitcoin(), 10_000, 31);
+        assert_eq!(r.report.block_count(), 10_000);
+        assert!(
+            r.miner(0).stale_blocks > 0,
+            "forced adopts must abandon private blocks"
+        );
+    }
+
+    #[test]
+    fn trail_stubborn_table_plays_through() {
+        // Policy-space tooling on top of PolicyTable::from_fn: a
+        // trail-stubborn variant keeps mining one block behind instead of
+        // adopting — legal everywhere, never solver-produced.
+        let table = PolicyTable::from_fn(
+            0.4,
+            0.5,
+            RewardModel::Bitcoin,
+            Scenario::RegularRate,
+            10,
+            0.4,
+            |a, h, _| {
+                if a > h && h >= 1 {
+                    Action::Override
+                } else if a + 1 >= h {
+                    Action::Wait
+                } else {
+                    Action::Adopt
+                }
+            },
+        );
+        let r = strategic_run(table, 0.4, 0.5, 4.0, RewardSchedule::ethereum(), 20_000, 41);
+        assert_eq!(r.report.block_count(), 20_000);
+        let share = r.revenue_share(0);
+        assert!((0.0..=1.0).contains(&share), "share {share}");
     }
 }

@@ -299,20 +299,15 @@ impl Simulation {
     /// an action that is illegal in the live state (override without a
     /// longer chain, match without a relevant length-`h ≥ 1` race), the
     /// pool performs a forced **adopt** — it concedes the epoch and
-    /// returns to the table's covered region within one action.
+    /// returns to the table's covered region within one action. The
+    /// resolution itself lives in [`seleth_mdp::PolicyTable::decide`], so
+    /// every executor (this engine, the delay simulator's strategic
+    /// miners) shares one decision procedure.
     fn policy_act(&mut self) {
         let table = self.config.policy().expect("Table strategy has a table");
         let a = self.private.len() as u32;
         let h = self.honest_branch.len() as u32;
-        let action = match table.action(a, h, self.fork) {
-            Some(Action::Override) if a > h => Action::Override,
-            Some(Action::Match) if self.fork == Fork::Relevant && a >= h && h >= 1 => Action::Match,
-            Some(Action::Wait) => Action::Wait,
-            // Out-of-table states and illegal prescriptions fall back to
-            // the always-legal resolution.
-            _ => Action::Adopt,
-        };
-        match action {
+        match table.decide(a, h, self.fork) {
             Action::Wait => {}
             Action::Adopt => self.policy_adopt(),
             Action::Override => self.policy_override(),

@@ -20,6 +20,14 @@
 //! `seleth-mdp`'s predicted optimal revenue ρ* and Monte-Carlo measurement
 //! (see `tests/policy_playback.rs` and the `optimal_sim` experiment).
 //!
+//! The [`delay`] module extends the playback loop to the regime the MDP
+//! cannot model: a network with *propagation delay* and arbitrarily many
+//! weighted pools, where each miner carries its own
+//! [`delay::MinerStrategy`] — honest protocol-following or artifact
+//! replay over a private fork. At zero delay the strategic replay
+//! reproduces ρ*; as the delay grows the artifact's edge degrades (the
+//! `optimal_delay` experiment and `results/delay_study.json`).
+//!
 //! # Quickstart
 //!
 //! ```

@@ -63,6 +63,45 @@ pub fn combined_top_share(n: usize) -> f64 {
         .sum()
 }
 
+/// The Fig. 6 distribution as a share vector (Ethermine first), in the
+/// exact form [`crate::delay::DelayConfigBuilder::shares`] accepts.
+///
+/// ```
+/// use seleth_sim::pools::share_vector;
+/// let v = share_vector();
+/// assert_eq!(v.len(), 6);
+/// assert!((v.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+/// ```
+pub fn share_vector() -> Vec<f64> {
+    TOP_POOLS_2018.iter().map(|p| p.share).collect()
+}
+
+/// A delay-study split with a strategic pool of size `alpha` in front: the
+/// remaining `1 − alpha` of hash power is distributed across the Fig. 6
+/// pool landscape, scaled proportionally. Entry 0 is the strategist; the
+/// result is a valid probability distribution for
+/// [`crate::delay::DelayConfigBuilder::shares`].
+///
+/// ```
+/// use seleth_sim::pools::shares_with_strategist;
+/// let v = shares_with_strategist(0.35);
+/// assert_eq!(v.len(), 7);
+/// assert!((v.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+/// assert_eq!(v[0], 0.35);
+/// ```
+pub fn shares_with_strategist(alpha: f64) -> Vec<f64> {
+    assert!(
+        (0.0..1.0).contains(&alpha),
+        "strategist share must be in [0, 1), got {alpha}"
+    );
+    let total: f64 = TOP_POOLS_2018.iter().map(|p| p.share).sum();
+    let rest = 1.0 - alpha;
+    let mut shares = Vec::with_capacity(TOP_POOLS_2018.len() + 1);
+    shares.push(alpha);
+    shares.extend(TOP_POOLS_2018.iter().map(|p| p.share / total * rest));
+    shares
+}
+
 /// Herfindahl–Hirschman concentration index of the pool distribution
 /// (treating "Others" as a single participant — an upper bound on
 /// decentralization, lower bound on concentration).
@@ -93,6 +132,19 @@ mod tests {
         // α* ≈ 0.054 — every top-5 pool exceeds it.
         for p in TOP_POOLS_2018.iter().filter(|p| p.name != "Others") {
             assert!(p.share > 0.054, "{} at {}", p.name, p.share);
+        }
+    }
+
+    #[test]
+    fn strategist_splits_are_distributions() {
+        for alpha in [0.0, 0.2634, 0.35, 0.45] {
+            let v = shares_with_strategist(alpha);
+            assert_eq!(v.len(), TOP_POOLS_2018.len() + 1);
+            assert!((v.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(v.iter().all(|s| *s >= 0.0));
+            assert_eq!(v[0], alpha);
+            // The honest landscape keeps its relative ordering.
+            assert!(v[1] > v[2] && v[2] > v[3]);
         }
     }
 

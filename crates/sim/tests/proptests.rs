@@ -6,6 +6,8 @@ use proptest::prelude::*;
 
 use seleth_chain::forkchoice::{self, TieBreak};
 use seleth_chain::{RewardSchedule, Scenario};
+use seleth_mdp::{Action, PolicyTable, RewardModel};
+use seleth_sim::delay::{DelayConfig, DelaySimulation};
 use seleth_sim::{PoolStrategy, SimConfig, Simulation};
 
 fn strategy_strategy() -> impl Strategy<Value = PoolStrategy> {
@@ -131,6 +133,79 @@ proptest! {
             // Height of the longest chain == number of regular blocks.
             report.pool.regular_blocks + report.honest.regular_blocks
         );
+    }
+
+    /// Delay-engine reward conservation: for arbitrary share splits,
+    /// delays, seeds — honest and strategic alike — the per-miner reward
+    /// tallies must sum to exactly what the canonical chain pays out:
+    /// one static reward per regular block plus the schedule's uncle and
+    /// nephew rewards at every accepted reference distance. Nothing is
+    /// minted or lost by withholding, racing, or forced adopts.
+    #[test]
+    fn delay_rewards_are_conserved(
+        weights in proptest::collection::vec(0.05f64..1.0, 2..6),
+        delay in 0.0f64..10.0,
+        seed in any::<u64>(),
+        ethereum in any::<bool>(),
+        strategic in any::<bool>(),
+    ) {
+        let total: f64 = weights.iter().sum();
+        let shares: Vec<f64> = weights.iter().map(|w| w / total).collect();
+        let schedule = if ethereum {
+            RewardSchedule::ethereum()
+        } else {
+            RewardSchedule::bitcoin()
+        };
+        let mut builder = DelayConfig::builder();
+        builder
+            .shares(shares)
+            .delay(delay)
+            .blocks(1_200)
+            .seed(seed)
+            .schedule(schedule.clone());
+        if strategic {
+            // A hand-written withholding table (never solver-produced):
+            // hold small leads, override when caught, adopt behind.
+            let table = PolicyTable::from_fn(
+                0.3,
+                0.5,
+                RewardModel::Bitcoin,
+                seleth_chain::Scenario::RegularRate,
+                6,
+                0.3,
+                |a, h, _| {
+                    if a > h && h >= 1 {
+                        Action::Override
+                    } else if a >= h {
+                        Action::Wait
+                    } else {
+                        Action::Adopt
+                    }
+                },
+            );
+            builder.policy(0, table);
+        }
+        let report = DelaySimulation::new(builder.build().expect("valid config")).run();
+
+        let r = &report.report;
+        prop_assert_eq!(r.block_count(), 1_200);
+        // Canonical-chain payout, recomputed from the block-type counts
+        // and the reference-distance histogram alone.
+        let mut expected = r.regular_count as f64 * schedule.static_reward();
+        for (i, n) in r.distance_histogram.iter().enumerate() {
+            let d = (i + 1) as u64;
+            expected += *n as f64 * (schedule.uncle_reward(d) + schedule.nephew_reward(d));
+        }
+        let paid: f64 = r.total_reward();
+        prop_assert!(
+            (paid - expected).abs() < 1e-6 * expected.max(1.0),
+            "per-miner rewards {} disagree with canonical payout {}",
+            paid,
+            expected
+        );
+        // The miner split partitions the payout.
+        let by_miner: f64 = (0..report.shares.len()).map(|i| report.miner(i).total()).sum();
+        prop_assert!((by_miner - paid).abs() < 1e-9 * paid.max(1.0));
     }
 
     /// Bitcoin-schedule runs never reference or reward uncles, under every

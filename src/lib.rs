@@ -64,5 +64,6 @@ pub mod prelude {
     pub use seleth_core::threshold::{profitability_threshold, ThresholdOptions};
     pub use seleth_core::{Analysis, AnalysisError, ModelParams, RevenueBreakdown, State};
     pub use seleth_mdp::{MdpConfig, PolicyTable, RewardModel};
+    pub use seleth_sim::delay::{DelayConfig, DelayReport, DelaySimulation, MinerStrategy};
     pub use seleth_sim::{multi, PoolStrategy, SimConfig, SimReport, Simulation};
 }

@@ -32,4 +32,11 @@ echo "==> optimal_delay smoke gate (strategic delay path)"
 SELETH_RESULTS="$(mktemp -d)" SELETH_POLICIES=results/policies \
     cargo run --release -q -p seleth-bench --bin optimal_delay -- --smoke
 
+echo "==> strategy_zoo smoke gate (zoo tournament + multi-strategist matchups)"
+# One (α, γ) point, duopoly split, two delays, one matchup cell, small
+# budgets; gates SM1 against its closed form and the optimal artifact
+# against every hand-written family.
+SELETH_RESULTS="$(mktemp -d)" SELETH_POLICIES=results/policies \
+    cargo run --release -q -p seleth-zoo --bin strategy_zoo -- --smoke
+
 echo "CI OK"

@@ -36,8 +36,9 @@
 
 use std::fmt::Write as _;
 
+use seleth_bench::json_f64;
 use seleth_chain::{RewardSchedule, Scenario};
-use seleth_mdp::{MdpConfig, PolicyTable, RewardModel};
+use seleth_mdp::{PolicyTable, RewardModel};
 use seleth_sim::delay::{DelayConfig, DelaySimulation};
 use seleth_sim::pools;
 
@@ -90,16 +91,7 @@ const ARTIFACTS: &[Artifact] = &[
 /// checkouts and scratch `SELETH_POLICIES` directories stay
 /// self-contained).
 fn load_or_solve(spec: &Artifact, max_len: u32) -> PolicyTable {
-    let path = seleth_bench::policies_dir().join(format!("{}.json", spec.name));
-    if let Ok(table) = PolicyTable::load(&path) {
-        return table;
-    }
-    eprintln!("  (artifact {} missing; solving)", spec.name);
-    let config = MdpConfig::new(spec.alpha, spec.gamma, spec.rewards).with_max_len(max_len);
-    let solution = config.solve().expect("mdp solve");
-    let table = PolicyTable::from_solution(&config, &solution);
-    table.save(&path).expect("save policy artifact");
-    table
+    seleth_bench::load_or_solve_policy(spec.name, spec.alpha, spec.gamma, spec.rewards, max_len)
 }
 
 struct Point {
@@ -109,8 +101,54 @@ struct Point {
     orphan_rate: f64,
 }
 
+/// One evaluated sweep point: an artifact replayed at one delay under a
+/// fixed share split.
+fn eval_point(
+    table: &PolicyTable,
+    spec: &Artifact,
+    shares: &[f64],
+    delay: f64,
+    runs: u64,
+    blocks: u64,
+) -> Point {
+    let schedule = match spec.rewards {
+        RewardModel::Bitcoin => RewardSchedule::bitcoin(),
+        RewardModel::EthereumApprox => RewardSchedule::ethereum(),
+    };
+    let config = DelayConfig::builder()
+        .shares(shares.to_vec())
+        .policy(0, table.clone())
+        .tie_gamma(spec.gamma)
+        .delay(delay)
+        .interval(INTERVAL)
+        .schedule(schedule)
+        .blocks(blocks)
+        .seed(SEED)
+        .build()
+        .expect("valid delay config");
+    let mut revenues = Vec::with_capacity(runs as usize);
+    let mut orphans = 0.0;
+    for k in 0..runs {
+        let report = DelaySimulation::new(config.with_seed(SEED + k)).run();
+        // The artifact's rho* is a RegularRate-normalized revenue;
+        // measure the same quantity (identical to the plain revenue
+        // share under the Bitcoin schedule).
+        revenues.push(report.absolute_revenue(0, Scenario::RegularRate));
+        orphans += report.orphan_rate();
+    }
+    let (mean, std_err) = seleth_bench::mean_stderr(&revenues);
+    Point {
+        delay,
+        mean,
+        std_err,
+        orphan_rate: orphans / runs as f64,
+    }
+}
+
 /// One degradation curve: an artifact replayed over the delay sweep under
-/// a fixed share split.
+/// a fixed share split, sweep points in parallel through the shared
+/// work-queue helper (the same scheduler the zoo tournament uses; results
+/// are bit-identical for every thread count).
 fn sweep_series(
     table: &PolicyTable,
     spec: &Artifact,
@@ -119,49 +157,9 @@ fn sweep_series(
     runs: u64,
     blocks: u64,
 ) -> Vec<Point> {
-    let schedule = match spec.rewards {
-        RewardModel::Bitcoin => RewardSchedule::bitcoin(),
-        RewardModel::EthereumApprox => RewardSchedule::ethereum(),
-    };
-    delays
-        .iter()
-        .map(|&delay| {
-            let config = DelayConfig::builder()
-                .shares(shares.to_vec())
-                .policy(0, table.clone())
-                .tie_gamma(spec.gamma)
-                .delay(delay)
-                .interval(INTERVAL)
-                .schedule(schedule.clone())
-                .blocks(blocks)
-                .seed(SEED)
-                .build()
-                .expect("valid delay config");
-            let mut revenues = Vec::with_capacity(runs as usize);
-            let mut orphans = 0.0;
-            for k in 0..runs {
-                let report = DelaySimulation::new(config.with_seed(SEED + k)).run();
-                // The artifact's rho* is a RegularRate-normalized revenue;
-                // measure the same quantity (identical to the plain revenue
-                // share under the Bitcoin schedule).
-                revenues.push(report.absolute_revenue(0, Scenario::RegularRate));
-                orphans += report.orphan_rate();
-            }
-            let (mean, std_err) = seleth_bench::mean_stderr(&revenues);
-            Point {
-                delay,
-                mean,
-                std_err,
-                orphan_rate: orphans / runs as f64,
-            }
-        })
-        .collect()
-}
-
-fn json_f64(v: f64) -> String {
-    // Hand-rolled JSON (the vendored serde is marker-only); shortest
-    // round-trip float formatting, like the policy artifacts.
-    format!("{v}")
+    seleth_bench::par_map(delays, 0, |&delay| {
+        eval_point(table, spec, shares, delay, runs, blocks)
+    })
 }
 
 fn main() {

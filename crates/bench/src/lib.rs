@@ -24,6 +24,7 @@
 //! | `optimal_sim` | Exported optimal policies replayed in the simulator, gated vs ρ* |
 //! | `delay`       | Propagation-delay sensitivity of the simulator (all honest) |
 //! | `optimal_delay` | Optimal artifacts replayed *under delay*: ρ* degradation study (`delay_study.json`) |
+//! | `strategy_zoo` | Hand-written strategy families vs the optimum, incl. multi-strategist matchups (`zoo_study.json`; lives in `seleth-zoo`) |
 //! | `ablation_truncation` | Model-truncation bias ablation |
 //! | `bench_solver` | Perf trajectory of the numeric kernels (`BENCH_solver.json`) |
 //! | `bench_sim`   | Simulator throughput trajectory (`BENCH_sim.json`) |
@@ -51,6 +52,40 @@ pub fn results_dir() -> PathBuf {
 pub fn policies_dir() -> PathBuf {
     std::env::var_os("SELETH_POLICIES")
         .map_or_else(|| results_dir().join("policies"), PathBuf::from)
+}
+
+/// Load a policy artifact `<name>.json` from [`policies_dir`], or solve
+/// it at `(alpha, gamma, rewards, max_len)` and save it when absent —
+/// so experiment bins stay self-contained on fresh checkouts and scratch
+/// `SELETH_POLICIES` directories.
+///
+/// # Panics
+///
+/// Panics when the solve or the save fails: experiment binaries have no
+/// recovery path.
+pub fn load_or_solve_policy(
+    name: &str,
+    alpha: f64,
+    gamma: f64,
+    rewards: seleth_mdp::RewardModel,
+    max_len: u32,
+) -> seleth_mdp::PolicyTable {
+    let path = policies_dir().join(format!("{name}.json"));
+    if let Ok(table) = seleth_mdp::PolicyTable::load(&path) {
+        return table;
+    }
+    eprintln!("  (artifact {name} missing; solving)");
+    let config = seleth_mdp::MdpConfig::new(alpha, gamma, rewards).with_max_len(max_len);
+    let solution = config.solve().expect("mdp solve");
+    let table = seleth_mdp::PolicyTable::from_solution(&config, &solution);
+    table.save(&path).expect("save policy artifact");
+    table
+}
+
+/// Shortest-round-trip float formatting for hand-rolled JSON output (the
+/// vendored serde is marker-only), matching the policy-artifact format.
+pub fn json_f64(v: f64) -> String {
+    format!("{v}")
 }
 
 /// Write a text file (e.g. hand-rolled JSON) into [`results_dir`],
@@ -84,6 +119,75 @@ pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) -> PathBuf {
         writeln!(file, "{}", row.join(",")).expect("write CSV row");
     }
     path
+}
+
+/// Evaluate `f` over `items` in parallel with a shared work queue,
+/// returning results in input order.
+///
+/// This is the sweep-point analogue of `seleth_sim::multi::run_many`'s
+/// scheduler: workers pull item indices from an atomic counter (no
+/// up-front chunking, so heterogeneous cell costs stay load-balanced) and
+/// the output is collected by index. As long as `f` is a pure function of
+/// its item, the result is bit-identical for every thread count —
+/// experiment sweeps parallelized through this helper cannot drift when
+/// the host's core count changes. `threads = 0` uses
+/// `available_parallelism`.
+///
+/// # Panics
+///
+/// Panics if a worker panics (i.e. `f` itself panicked).
+pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map_or(4, |n| n.get())
+    } else {
+        threads
+    }
+    .min(items.len())
+    .max(1);
+    if threads == 1 {
+        return items.iter().map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut results: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let next = &next;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut produced: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let k = next.fetch_add(1, Ordering::Relaxed);
+                        if k >= items.len() {
+                            break;
+                        }
+                        produced.push((k, f(&items[k])));
+                    }
+                    produced
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (k, r) in handle.join().expect("par_map worker panicked") {
+                results[k] = Some(r);
+            }
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("all slots filled"))
+        .collect()
 }
 
 /// Read an integer experiment knob from the environment, falling back to
@@ -150,6 +254,17 @@ mod tests {
         assert!((mean - 2.5).abs() < 1e-12);
         // Sample variance 5/3; standard error sqrt(5/12).
         assert!((se - (5.0f64 / 12.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn par_map_preserves_order_and_thread_invariance() {
+        let items: Vec<u64> = (0..23).collect();
+        let reference: Vec<u64> = items.iter().map(|v| v * v).collect();
+        for threads in [0, 1, 2, 7, 64] {
+            let out = par_map(&items, threads, |v| v * v);
+            assert_eq!(out, reference, "threads={threads}");
+        }
+        assert_eq!(par_map::<u64, u64, _>(&[], 4, |v| *v), Vec::<u64>::new());
     }
 
     /// Serializes the tests that mutate `SELETH_*` environment variables.

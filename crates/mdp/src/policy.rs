@@ -15,6 +15,8 @@
 //! [`FORMAT_VERSION`]) with one key per metadata field and one
 //! action-code string per fork label (`a` = adopt, `o` = override,
 //! `m` = match, `w` = wait; row-major, `index = a · (max_len + 1) + h`).
+//! Hand-written tables may additionally carry a strategy-family name
+//! ([`PolicyTable::with_family`]), written as an optional `family` field.
 //! Floats are written with Rust's shortest round-trip formatting, so
 //! save → load is bit-identical. The reader is a small hand-rolled parser
 //! (the vendored `serde` is marker-only; see `vendor/README.md`) that
@@ -106,6 +108,12 @@ pub struct PolicyTable {
     scenario: Scenario,
     max_len: u32,
     revenue: f64,
+    /// Name of the strategy family (plus parameters) this table encodes —
+    /// e.g. `sm1` or `lead_stubborn_l2` for hand-written strategies from
+    /// the zoo's generators. Empty for unnamed tables (solver lowerings,
+    /// artifacts predating the field); serialized only when non-empty, so
+    /// pre-existing artifacts stay byte-identical.
+    family: String,
     /// `(max_len + 1)²` actions per fork label, `index = a·(max_len+1)+h`.
     irrelevant: Vec<Action>,
     relevant: Vec<Action>,
@@ -193,10 +201,31 @@ impl PolicyTable {
             scenario,
             max_len,
             revenue,
+            family: String::new(),
             irrelevant,
             relevant,
             active,
         }
+    }
+
+    /// Tag the table with a strategy-family name (e.g. `trail_stubborn_t1`
+    /// from the zoo's generators). The name survives the JSON round-trip.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `family` contains characters the escape-free artifact
+    /// string format cannot carry (`"`, `\`, control characters).
+    #[must_use]
+    pub fn with_family(mut self, family: impl Into<String>) -> Self {
+        let family = family.into();
+        assert!(
+            !family
+                .chars()
+                .any(|c| c == '"' || c == '\\' || c.is_control()),
+            "family name {family:?} needs escaping, which the artifact format forbids"
+        );
+        self.family = family;
+        self
     }
 
     /// The honest-mining baseline as a table: publish (override) any
@@ -249,6 +278,12 @@ impl PolicyTable {
     /// The solver-predicted optimal revenue ρ* (the replay target).
     pub fn predicted_revenue(&self) -> f64 {
         self.revenue
+    }
+
+    /// The strategy-family name set via [`PolicyTable::with_family`], or
+    /// `""` for unnamed tables.
+    pub fn family(&self) -> &str {
+        &self.family
     }
 
     /// Number of stored action slots (`3 · (max_len + 1)²`).
@@ -305,6 +340,30 @@ impl PolicyTable {
         }
     }
 
+    /// Audit the whole truncation region: `true` iff
+    /// [`PolicyTable::decide`] returns every stored prescription
+    /// unchanged — no slot is an illegal *override* (without a lead) or
+    /// *match* (outside a coverable relevant race), so a replay inside
+    /// the region never hits the forced-adopt fallback.
+    ///
+    /// Solver lowerings and the zoo's strategy-family generators must
+    /// pass this audit; corrupt or adversarial tables (which executors
+    /// tolerate by degrading to adopt) are flagged by it. This is the
+    /// single legality check tests should use instead of re-deriving the
+    /// fallback rules ad hoc.
+    pub fn is_legal_everywhere(&self) -> bool {
+        [Fork::Irrelevant, Fork::Relevant, Fork::Active]
+            .into_iter()
+            .all(|fork| {
+                (0..=self.max_len).all(|a| {
+                    (0..=self.max_len).all(|h| {
+                        let stored = self.action(a, h, fork).expect("in-region slot");
+                        self.decide(a, h, fork) == stored
+                    })
+                })
+            })
+    }
+
     // ------------------------------------------------------------------
     // Serialization (hand-rolled: the vendored serde is marker-only)
     // ------------------------------------------------------------------
@@ -332,6 +391,11 @@ impl PolicyTable {
         out.push_str(&format!("  \"scenario\": \"{scenario}\",\n"));
         out.push_str(&format!("  \"max_len\": {},\n", self.max_len));
         out.push_str(&format!("  \"revenue\": {},\n", self.revenue));
+        // Written only when set: artifacts predating the field stay
+        // byte-identical across a load/save cycle.
+        if !self.family.is_empty() {
+            out.push_str(&format!("  \"family\": \"{}\",\n", self.family));
+        }
         for (name, table) in [
             ("irrelevant", &self.irrelevant),
             ("relevant", &self.relevant),
@@ -369,6 +433,7 @@ impl PolicyTable {
         let mut scenario: Option<String> = None;
         let mut max_len: Option<f64> = None;
         let mut revenue: Option<f64> = None;
+        let mut family: Option<String> = None;
         let mut irrelevant: Option<String> = None;
         let mut relevant: Option<String> = None;
         let mut active: Option<String> = None;
@@ -384,6 +449,7 @@ impl PolicyTable {
             cur.skip_ws();
             match key.as_str() {
                 "kind" => kind = Some(cur.parse_string()?),
+                "family" => family = Some(cur.parse_string()?),
                 "rewards" => rewards = Some(cur.parse_string()?),
                 "scenario" => scenario = Some(cur.parse_string()?),
                 "irrelevant" => irrelevant = Some(cur.parse_string()?),
@@ -465,6 +531,7 @@ impl PolicyTable {
             scenario,
             max_len,
             revenue: revenue.ok_or_else(|| missing("revenue"))?,
+            family: family.unwrap_or_default(),
             irrelevant: decode("irrelevant", irrelevant)?,
             relevant: decode("relevant", relevant)?,
             active: decode("active", active)?,
@@ -698,6 +765,61 @@ mod tests {
         assert_eq!(matches.decide(2, 0, Fork::Relevant), Action::Adopt);
         assert_eq!(matches.decide(1, 2, Fork::Relevant), Action::Adopt);
         assert_eq!(matches.decide(2, 1, Fork::Active), Action::Adopt);
+    }
+
+    #[test]
+    fn family_metadata_round_trips_and_defaults_empty() {
+        let table = PolicyTable::honest(0.3, 0.5, 4);
+        assert_eq!(table.family(), "");
+        // Unnamed tables serialize without the field at all.
+        assert!(!table.to_json().contains("family"));
+        let named = table.with_family("sm1");
+        assert_eq!(named.family(), "sm1");
+        let restored = PolicyTable::from_json(&named.to_json()).expect("parse");
+        assert_eq!(restored.family(), "sm1");
+        assert_eq!(named, restored);
+        // Artifacts predating the field load with an empty family.
+        let legacy = named.to_json().replace("  \"family\": \"sm1\",\n", "");
+        assert_eq!(PolicyTable::from_json(&legacy).expect("parse").family(), "");
+    }
+
+    #[test]
+    #[should_panic(expected = "needs escaping")]
+    fn family_names_needing_escapes_are_rejected() {
+        let _ = PolicyTable::honest(0.3, 0.5, 2).with_family("bad\"name");
+    }
+
+    #[test]
+    fn legality_audit_flags_illegal_slots_only() {
+        // Honest and solver-lowered tables are legal in the whole region.
+        assert!(PolicyTable::honest(0.3, 0.5, 8).is_legal_everywhere());
+        assert!(solved_table(0.35, 0.5, RewardModel::Bitcoin, 10).is_legal_everywhere());
+        // Override without a lead is illegal; so is match outside a
+        // coverable relevant race.
+        for bad in [Action::Override, Action::Match] {
+            let table = PolicyTable::from_fn(
+                0.3,
+                0.5,
+                RewardModel::Bitcoin,
+                Scenario::RegularRate,
+                4,
+                0.3,
+                move |_, _, _| bad,
+            );
+            assert!(!table.is_legal_everywhere(), "{bad:?} everywhere");
+        }
+        // Wait everywhere is legal (truncation fallbacks happen *outside*
+        // the region, which the audit deliberately does not cover).
+        let waits = PolicyTable::from_fn(
+            0.3,
+            0.5,
+            RewardModel::Bitcoin,
+            Scenario::RegularRate,
+            4,
+            0.3,
+            |_, _, _| Action::Wait,
+        );
+        assert!(waits.is_legal_everywhere());
     }
 
     #[test]

@@ -20,6 +20,7 @@ fn assert_bit_identical(a: &PolicyTable, b: &PolicyTable) {
     assert_eq!(a.rewards(), b.rewards());
     assert_eq!(a.scenario(), b.scenario());
     assert_eq!(a.max_len(), b.max_len());
+    assert_eq!(a.family(), b.family(), "family");
     for fork in [Fork::Irrelevant, Fork::Relevant, Fork::Active] {
         for x in 0..=a.max_len() {
             for h in 0..=a.max_len() {
@@ -81,7 +82,12 @@ proptest! {
         max_len in 0u32..14,
         scenario2 in any::<bool>(),
         pattern in any::<u64>(),
+        family_pick in any::<u8>(),
     ) {
+        // The vendored proptest has no string-regex strategies; pick a
+        // family name (possibly empty) from a representative list.
+        let family = ["", "sm1", "lead_stubborn_l2", "trail_stubborn_t7", "x_0"]
+            [usize::from(family_pick) % 5];
         let scenario = if scenario2 {
             Scenario::RegularPlusUncleRate
         } else {
@@ -103,7 +109,8 @@ proptest! {
                     .wrapping_add(pattern);
                 action_from_index((mix >> 32) as u8)
             },
-        );
+        )
+        .with_family(family);
         let restored = PolicyTable::from_json(&table.to_json()).expect("parse");
         assert_bit_identical(&table, &restored);
         // And a second trip is a fixed point of the text form too.

@@ -1,0 +1,351 @@
+//! Parametric strategy families, lowered into [`PolicyTable`] artifacts.
+//!
+//! Every published hand-written withholding strategy is a rule over the
+//! MDP's `(a, h, fork)` state abstraction, which makes
+//! [`PolicyTable::from_fn`] the natural compilation target: a family plus
+//! its parameters becomes a dense table, tagged with a machine-readable
+//! family id ([`PolicyTable::family`]), and every executor that replays
+//! artifacts — the instant-broadcast engine, the propagation-delay
+//! simulator, the tournament harness — can play it without new code.
+//!
+//! The families, in the MDP's decision order (consulted after every mined
+//! or heard block):
+//!
+//! - [`Family::Honest`] — publish any lead immediately, adopt otherwise;
+//!   earns exactly the fair share `α`.
+//! - [`Family::Sm1`] — Eyal–Sirer selfish mining (the paper's
+//!   Algorithm 1 skeleton): withhold, match when the honest chain draws
+//!   level, override when the lead shrinks to one. Its revenue has the
+//!   closed form [`sm1_closed_form`].
+//! - [`Family::LeadStubborn`] `L_k` — SM1 that refuses to cash in a lead
+//!   while the public branch is short: instead of overriding at `a = h+1`
+//!   it *matches* (keeping one block hidden) until the honest branch
+//!   reaches length `k`. `L_0` is exactly SM1.
+//! - [`Family::TrailStubborn`] `T_k` — SM1 that keeps mining up to `k`
+//!   blocks behind instead of adopting. `T_0` is exactly SM1.
+//! - [`Family::EqualForkStubborn`] — SM1 that stays stubborn about equal
+//!   forks: after winning a tie race by mining (`a = h+1` in an active
+//!   fork) it keeps the new block private instead of overriding. The
+//!   `race` flag is the family's γ-behaviour: whether it publishes
+//!   matching prefixes at all — tie races and the deep-lead progressive
+//!   reveal — exposing itself to the `tie_gamma` split, or withholds
+//!   everything until an override, γ-blind.
+//!
+//! Every generated table prescribes only *legal* actions inside its
+//! truncation region ([`PolicyTable::is_legal_everywhere`]), so replays
+//! never hit the forced-adopt fallback except at the truncation boundary.
+
+use seleth_chain::Scenario;
+use seleth_mdp::{Action, Fork, PolicyTable, RewardModel};
+
+/// A parametric hand-written withholding strategy (see the
+/// [module docs](self) for the catalogue).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// Protocol-following baseline: override any lead, adopt otherwise.
+    Honest,
+    /// Eyal–Sirer selfish mining (SM1).
+    Sm1,
+    /// Lead-stubborn `L_k`: matches instead of overriding while the
+    /// honest branch is shorter than `k`. `L_0` ≡ SM1.
+    LeadStubborn {
+        /// Honest-branch length below which the family keeps racing.
+        k: u32,
+    },
+    /// Trail-stubborn `T_k`: keeps mining up to `k` blocks behind the
+    /// honest chain instead of adopting. `T_0` ≡ SM1.
+    TrailStubborn {
+        /// Maximum tolerated trail before conceding.
+        k: u32,
+    },
+    /// Equal-fork-stubborn: never overrides out of a won tie race; the
+    /// `race` flag decides whether ties are matched at all.
+    EqualForkStubborn {
+        /// `true`: publish a matching prefix on ties (the γ-exposed
+        /// variant); `false`: withhold through ties, γ-blind.
+        race: bool,
+    },
+}
+
+impl Family {
+    /// A representative of each family at sensible parameters — the
+    /// default tournament line-up.
+    pub fn representatives() -> Vec<Family> {
+        vec![
+            Family::Honest,
+            Family::Sm1,
+            Family::LeadStubborn { k: 2 },
+            Family::TrailStubborn { k: 1 },
+            Family::EqualForkStubborn { race: true },
+        ]
+    }
+
+    /// Machine-readable family id including parameters (e.g.
+    /// `lead_stubborn_l2`); recorded in the lowered table's
+    /// [`PolicyTable::family`] metadata and in tournament reports.
+    pub fn id(&self) -> String {
+        match self {
+            Family::Honest => "honest".into(),
+            Family::Sm1 => "sm1".into(),
+            Family::LeadStubborn { k } => format!("lead_stubborn_l{k}"),
+            Family::TrailStubborn { k } => format!("trail_stubborn_t{k}"),
+            Family::EqualForkStubborn { race: true } => "equal_fork_stubborn_race".into(),
+            Family::EqualForkStubborn { race: false } => "equal_fork_stubborn_hidden".into(),
+        }
+    }
+
+    /// The family's prescription in state `(a, h, fork)`.
+    ///
+    /// Every returned action is legal in its state under
+    /// [`PolicyTable::decide`]'s rules: *override* only with `a > h`,
+    /// *match* only in a coverable relevant race (`a ≥ h ≥ 1`).
+    pub fn action(&self, a: u32, h: u32, fork: Fork) -> Action {
+        match self {
+            Family::Honest => {
+                if a > h {
+                    Action::Override
+                } else {
+                    Action::Adopt
+                }
+            }
+            Family::Sm1 => sm1_action(a, h, fork),
+            Family::LeadStubborn { k } => {
+                // The override trigger is softened: with a short honest
+                // branch the family ties the race instead (a ≥ h ≥ 1, so
+                // the match is legal) and keeps one block hidden.
+                if a == h + 1 && h >= 1 && h < *k {
+                    if fork == Fork::Relevant {
+                        Action::Match
+                    } else {
+                        Action::Wait
+                    }
+                } else {
+                    sm1_action(a, h, fork)
+                }
+            }
+            Family::TrailStubborn { k } => {
+                // Concede only when the trail exceeds k; otherwise keep
+                // mining behind (h ≤ a + k) exactly like SM1 would ahead.
+                if h > a && h <= a + *k {
+                    Action::Wait
+                } else {
+                    sm1_action(a, h, fork)
+                }
+            }
+            Family::EqualForkStubborn { race } => {
+                let base = sm1_action(a, h, fork);
+                if !*race && base == Action::Match {
+                    // γ-blind: never reveal a prefix early — no tie races,
+                    // no progressive reveal; only overrides publish.
+                    Action::Wait
+                } else if a == h + 1 && h >= 1 && fork == Fork::Active {
+                    // Won the race by mining — stay stubborn, keep the new
+                    // block private instead of overriding.
+                    Action::Wait
+                } else {
+                    base
+                }
+            }
+        }
+    }
+
+    /// The family's predicted objective value at `(α, γ)`, recorded in the
+    /// lowered table's `revenue` metadata: the fair share `α` for
+    /// [`Family::Honest`], the Eyal–Sirer closed form for [`Family::Sm1`],
+    /// and — per [`PolicyTable::from_fn`]'s documented convention for
+    /// strategies without a prediction — the honest baseline `α` for the
+    /// stubborn variants.
+    pub fn predicted_revenue(&self, alpha: f64, gamma: f64) -> f64 {
+        match self {
+            Family::Sm1 => sm1_closed_form(alpha, gamma),
+            _ => alpha,
+        }
+    }
+
+    /// Lower the family into a replayable [`PolicyTable`] artifact for an
+    /// attacker of size `alpha` under tie-breaking `gamma`, truncated at
+    /// `max_len`, tagged with [`Family::id`]. Family actions do not depend
+    /// on `(α, γ)` — the parameters are metadata (and the predicted
+    /// revenue) only, exactly as for solver artifacts.
+    pub fn table(&self, alpha: f64, gamma: f64, max_len: u32) -> PolicyTable {
+        PolicyTable::from_fn(
+            alpha,
+            gamma,
+            RewardModel::Bitcoin,
+            Scenario::RegularRate,
+            max_len,
+            self.predicted_revenue(alpha, gamma),
+            |a, h, fork| self.action(a, h, fork),
+        )
+        .with_family(self.id())
+    }
+}
+
+/// The SM1 core rule shared (and selectively overridden) by the stubborn
+/// families.
+///
+/// Two non-obvious cases make this the *faithful* Eyal–Sirer encoding:
+/// the tie (`a = h`) match, and the **progressive reveal** at a
+/// comfortable lead — Algorithm 1 publishes its block at the honest
+/// chain's height after every honest block ("publish first unpublished
+/// block"), which in the MDP alphabet is a *match* from `a ≥ h + 2`
+/// (legal: `a ≥ h ≥ 1`). With γ > 0, honest power that lands on the
+/// revealed prefix settles those blocks for the pool (the γβ rebase);
+/// dropping the reveal (playing *wait* instead) measurably underperforms
+/// the closed form — ≈ 0.03 absolute at `α = 0.4, γ = 0.5`.
+fn sm1_action(a: u32, h: u32, fork: Fork) -> Action {
+    if h > a {
+        Action::Adopt
+    } else if h == 0 {
+        // Nothing public to race; includes (0, 0) and any fresh lead.
+        Action::Wait
+    } else if a == h + 1 {
+        // The near-win: publish everything and settle (lines 15-17 / the
+        // pool-mined (2, 1) concession of Algorithm 1).
+        Action::Override
+    } else if fork == Fork::Relevant {
+        // Tie (a = h): publish the matching prefix and race. Comfortable
+        // lead (a ≥ h + 2): progressively reveal up to the honest height.
+        Action::Match
+    } else {
+        // The same states mid-race (active fork) or after the pool's own
+        // block (irrelevant): the prefix is already out; keep mining.
+        Action::Wait
+    }
+}
+
+/// Eyal–Sirer's closed-form SM1 relative revenue (Majority is not Enough,
+/// Eq. 8):
+///
+/// ```text
+///        α(1−α)²(4α + γ(1−2α)) − α³
+/// R  =  ─────────────────────────────
+///          1 − α(1 + (2−α)α)
+/// ```
+///
+/// At `γ = 0` the profitability threshold is `α = 1/3`, where `R = α`
+/// exactly — the anchor the unit tests pin. The zero-delay duopoly replay
+/// of [`Family::Sm1`]'s table must reproduce this value within
+/// Monte-Carlo noise (gated in `tests/zoo_study.rs` and the
+/// `strategy_zoo` experiment).
+pub fn sm1_closed_form(alpha: f64, gamma: f64) -> f64 {
+    let a = alpha;
+    let num = a * (1.0 - a) * (1.0 - a) * (4.0 * a + gamma * (1.0 - 2.0 * a)) - a * a * a;
+    let den = 1.0 - a * (1.0 + (2.0 - a) * a);
+    num / den
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_form_anchors() {
+        // At the γ = 0 threshold α = 1/3 the closed form crosses the fair
+        // share exactly.
+        let third = 1.0 / 3.0;
+        assert!((sm1_closed_form(third, 0.0) - third).abs() < 1e-12);
+        // Sapirshtein et al. report SM1 ≈ 0.36650 at α = 0.35, γ = 0
+        // (optimal play only adds ≈ 0.004).
+        assert!((sm1_closed_form(0.35, 0.0) - 0.366_50).abs() < 1e-4);
+        // Below the threshold SM1 loses money; above, it gains.
+        assert!(sm1_closed_form(0.25, 0.0) < 0.25);
+        assert!(sm1_closed_form(0.40, 0.0) > 0.40);
+        // γ strictly helps the attacker.
+        assert!(sm1_closed_form(0.30, 0.5) > sm1_closed_form(0.30, 0.0));
+    }
+
+    #[test]
+    fn family_ids_are_stable() {
+        assert_eq!(Family::Honest.id(), "honest");
+        assert_eq!(Family::Sm1.id(), "sm1");
+        assert_eq!(Family::LeadStubborn { k: 2 }.id(), "lead_stubborn_l2");
+        assert_eq!(Family::TrailStubborn { k: 7 }.id(), "trail_stubborn_t7");
+        assert_eq!(
+            Family::EqualForkStubborn { race: true }.id(),
+            "equal_fork_stubborn_race"
+        );
+        assert_eq!(
+            Family::EqualForkStubborn { race: false }.id(),
+            "equal_fork_stubborn_hidden"
+        );
+    }
+
+    #[test]
+    fn zero_parameter_stubborn_variants_reduce_to_sm1() {
+        for fork in [Fork::Irrelevant, Fork::Relevant, Fork::Active] {
+            for a in 0..12 {
+                for h in 0..12 {
+                    assert_eq!(
+                        Family::LeadStubborn { k: 0 }.action(a, h, fork),
+                        Family::Sm1.action(a, h, fork),
+                        "L_0 at ({a}, {h}, {fork:?})"
+                    );
+                    assert_eq!(
+                        Family::TrailStubborn { k: 0 }.action(a, h, fork),
+                        Family::Sm1.action(a, h, fork),
+                        "T_0 at ({a}, {h}, {fork:?})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_representatives_lower_to_legal_tables() {
+        for family in Family::representatives() {
+            for max_len in [1, 4, 12] {
+                let table = family.table(0.35, 0.5, max_len);
+                assert!(
+                    table.is_legal_everywhere(),
+                    "{} at truncation {max_len}",
+                    family.id()
+                );
+                assert_eq!(table.family(), family.id());
+                assert_eq!(table.alpha(), 0.35);
+                assert_eq!(table.gamma(), 0.5);
+            }
+        }
+    }
+
+    #[test]
+    fn sm1_plays_the_textbook_states() {
+        let f = Family::Sm1;
+        assert_eq!(f.action(0, 0, Fork::Irrelevant), Action::Wait);
+        assert_eq!(f.action(1, 0, Fork::Irrelevant), Action::Wait);
+        assert_eq!(f.action(0, 1, Fork::Relevant), Action::Adopt);
+        assert_eq!(f.action(1, 1, Fork::Relevant), Action::Match);
+        assert_eq!(f.action(1, 1, Fork::Active), Action::Wait);
+        assert_eq!(f.action(2, 1, Fork::Relevant), Action::Override);
+        assert_eq!(f.action(2, 1, Fork::Active), Action::Override);
+        // The progressive reveal: at a comfortable lead SM1 keeps its
+        // public prefix level with the honest chain.
+        assert_eq!(f.action(3, 1, Fork::Relevant), Action::Match);
+        assert_eq!(f.action(5, 2, Fork::Relevant), Action::Match);
+        // Mid-race / after an own block the prefix is already out.
+        assert_eq!(f.action(3, 1, Fork::Active), Action::Wait);
+        assert_eq!(f.action(3, 1, Fork::Irrelevant), Action::Wait);
+        assert_eq!(f.action(3, 0, Fork::Irrelevant), Action::Wait);
+    }
+
+    #[test]
+    fn stubborn_variants_deviate_where_advertised() {
+        // Lead-stubborn ties short races instead of overriding.
+        let lead = Family::LeadStubborn { k: 2 };
+        assert_eq!(lead.action(2, 1, Fork::Relevant), Action::Match);
+        assert_eq!(lead.action(3, 2, Fork::Relevant), Action::Override);
+        // Trail-stubborn tolerates a bounded trail.
+        let trail = Family::TrailStubborn { k: 1 };
+        assert_eq!(trail.action(1, 2, Fork::Relevant), Action::Wait);
+        assert_eq!(trail.action(1, 3, Fork::Relevant), Action::Adopt);
+        // Equal-fork-stubborn keeps a won race private...
+        let efs = Family::EqualForkStubborn { race: true };
+        assert_eq!(efs.action(2, 1, Fork::Active), Action::Wait);
+        assert_eq!(efs.action(2, 1, Fork::Relevant), Action::Override);
+        // ...and the hidden variant never reveals anything early.
+        let hidden = Family::EqualForkStubborn { race: false };
+        assert_eq!(hidden.action(1, 1, Fork::Relevant), Action::Wait);
+        assert_eq!(hidden.action(4, 2, Fork::Relevant), Action::Wait);
+        assert_eq!(hidden.action(2, 1, Fork::Relevant), Action::Override);
+    }
+}

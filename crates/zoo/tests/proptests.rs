@@ -1,0 +1,98 @@
+//! Property tests of the strategy-family generators: every lowered table
+//! must survive the artifact JSON round-trip bit-identically, and the
+//! honest/SM1 families must never trigger the forced-adopt fallback
+//! inside their truncation region.
+
+use proptest::prelude::*;
+
+use seleth_mdp::{Fork, PolicyTable};
+use seleth_zoo::Family;
+
+/// The family picked by an arbitrary byte (the vendored proptest has no
+/// enum strategies).
+fn family_from(pick: u8, k: u32) -> Family {
+    match pick % 6 {
+        0 => Family::Honest,
+        1 => Family::Sm1,
+        2 => Family::LeadStubborn { k },
+        3 => Family::TrailStubborn { k },
+        4 => Family::EqualForkStubborn { race: true },
+        _ => Family::EqualForkStubborn { race: false },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every generated family table round-trips through the artifact JSON
+    /// bit-identically — metadata floats by bits, the family tag and every
+    /// action slot exactly.
+    #[test]
+    fn family_tables_roundtrip_bit_identically(
+        pick in any::<u8>(),
+        k in 0u32..6,
+        alpha in 0.05f64..0.49,
+        gamma in 0.0f64..1.0,
+        max_len in 1u32..14,
+    ) {
+        let family = family_from(pick, k);
+        let table = family.table(alpha, gamma, max_len);
+        let restored = PolicyTable::from_json(&table.to_json()).expect("parse");
+        prop_assert_eq!(&table, &restored);
+        prop_assert_eq!(table.alpha().to_bits(), restored.alpha().to_bits());
+        prop_assert_eq!(table.gamma().to_bits(), restored.gamma().to_bits());
+        prop_assert_eq!(
+            table.predicted_revenue().to_bits(),
+            restored.predicted_revenue().to_bits()
+        );
+        prop_assert_eq!(table.family(), family.id());
+        prop_assert_eq!(restored.family(), family.id());
+        // A second trip is a fixed point of the text form too.
+        prop_assert_eq!(table.to_json(), restored.to_json());
+    }
+
+    /// Inside the truncation region, `decide` returns the honest and SM1
+    /// prescriptions unchanged in every state — the replay executors never
+    /// degrade them to the forced adopt.
+    #[test]
+    fn honest_and_sm1_never_hit_the_fallback_in_region(
+        alpha in 0.05f64..0.49,
+        gamma in 0.0f64..1.0,
+        max_len in 1u32..14,
+    ) {
+        for family in [Family::Honest, Family::Sm1] {
+            let table = family.table(alpha, gamma, max_len);
+            prop_assert!(table.is_legal_everywhere(), "{} audit", family.id());
+            for fork in [Fork::Irrelevant, Fork::Relevant, Fork::Active] {
+                for a in 0..=max_len {
+                    for h in 0..=max_len {
+                        prop_assert_eq!(
+                            table.decide(a, h, fork),
+                            family.action(a, h, fork),
+                            "{} at ({}, {}, {:?})", family.id(), a, h, fork
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The stubborn variants are legal everywhere too, for any parameter.
+    #[test]
+    fn stubborn_families_lower_to_legal_tables(
+        k in 0u32..9,
+        race in any::<bool>(),
+        max_len in 1u32..12,
+    ) {
+        for family in [
+            Family::LeadStubborn { k },
+            Family::TrailStubborn { k },
+            Family::EqualForkStubborn { race },
+        ] {
+            prop_assert!(
+                family.table(0.3, 0.5, max_len).is_legal_everywhere(),
+                "{}", family.id()
+            );
+        }
+    }
+}

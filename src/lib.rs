@@ -20,6 +20,9 @@
 //!   (Algorithm 1 over a real block tree).
 //! - [`mdp`] (`seleth-mdp`) — *optimal* withholding strategies via
 //!   average-reward MDPs (the future-work direction the paper points at).
+//! - [`zoo`] (`seleth-zoo`) — the strategy zoo: parametric hand-written
+//!   strategy families (SM1, stubborn variants) lowered into policy
+//!   artifacts, plus a parallel multi-strategist tournament harness.
 //!
 //! # The paper in one example
 //!
@@ -54,6 +57,7 @@ pub use seleth_core as core;
 pub use seleth_markov as markov;
 pub use seleth_mdp as mdp;
 pub use seleth_sim as sim;
+pub use seleth_zoo as zoo;
 
 /// One-stop imports for the common workflow: model parameters in, revenue
 /// and thresholds out, simulation alongside.
@@ -66,4 +70,7 @@ pub mod prelude {
     pub use seleth_mdp::{MdpConfig, PolicyTable, RewardModel};
     pub use seleth_sim::delay::{DelayConfig, DelayReport, DelaySimulation, MinerStrategy};
     pub use seleth_sim::{multi, PoolStrategy, SimConfig, SimReport, Simulation};
+    pub use seleth_zoo::{
+        sm1_closed_form, Cell, Family, StrategyRegistry, Tournament, TournamentConfig,
+    };
 }

@@ -1,0 +1,150 @@
+//! Tier-1 gates for the strategy zoo: hand-written families replayed in
+//! the delay simulator must reproduce their closed forms, and the solved
+//! MDP artifact must dominate every hand-written family at its own
+//! `(α, γ)`.
+//!
+//! The SM1 gate is the zoo's analogue of the policy-playback gates: the
+//! Eyal–Sirer closed form is exact for the two-player zero-delay world
+//! the duopoly split reproduces, so the measured revenue must land within
+//! 3 standard errors (or 0.5% absolute — tighter than the repo's usual
+//! 1% bar, since the prediction here is an exact formula, not a solver
+//! output at finite truncation). Family tables are generated at deep
+//! truncation (`max_len = 80`): SM1 is truncation-sensitive at `γ = 0`
+//! because nothing rebases its epochs' `(a, h)` walk (see the zoo crate
+//! docs), and a shallow table's boundary forced-adopts bias the replay
+//! low.
+
+use std::path::Path;
+
+use selfish_ethereum::prelude::*;
+
+use seleth_bench::mean_stderr;
+
+const SEED: u64 = 424_242;
+
+fn sm1_playback(alpha: f64, gamma: f64, runs: u64, blocks: u64) -> (f64, f64) {
+    let table = Family::Sm1.table(alpha, gamma, 80);
+    let config = DelayConfig::builder()
+        .shares(vec![alpha, 1.0 - alpha])
+        .policy(0, table)
+        .tie_gamma(gamma)
+        .delay(0.0)
+        .schedule(RewardSchedule::bitcoin())
+        .blocks(blocks)
+        .seed(SEED)
+        .build()
+        .expect("valid delay config");
+    let revenues: Vec<f64> = (0..runs)
+        .map(|k| {
+            DelaySimulation::new(config.with_seed(SEED + k))
+                .run()
+                .revenue_share(0)
+        })
+        .collect();
+    mean_stderr(&revenues)
+}
+
+#[test]
+fn sm1_zero_delay_duopoly_reproduces_the_closed_form() {
+    // Above the γ = 0 threshold and in the γ-rich regime: both must land
+    // on Eyal–Sirer's formula.
+    for (alpha, gamma) in [(0.35, 0.0), (0.30, 0.5)] {
+        let cf = sm1_closed_form(alpha, gamma);
+        let (mean, se) = sm1_playback(alpha, gamma, 8, 25_000);
+        let diff = (mean - cf).abs();
+        assert!(
+            diff <= (3.0 * se).max(0.005),
+            "sm1 at ({alpha}, {gamma}): measured {mean:.5} vs closed form {cf:.5} \
+             is {:.2} standard errors ({diff:.5} absolute)",
+            diff / se
+        );
+    }
+}
+
+#[test]
+fn closed_form_anchors_the_known_thresholds() {
+    // The formula itself: R = α exactly at the published thresholds.
+    let third = 1.0 / 3.0;
+    assert!((sm1_closed_form(third, 0.0) - third).abs() < 1e-12);
+    assert!((sm1_closed_form(0.25, 0.5) - 0.25).abs() < 1e-12);
+}
+
+#[test]
+fn optimal_artifact_dominates_every_family_at_its_own_point() {
+    // The acceptance bar: at (α = 0.40, γ = 0.5), zero-delay duopoly, the
+    // committed solved artifact must earn at least as much as every
+    // hand-written family, within combined Monte-Carlo noise.
+    let artifact = PolicyTable::load(Path::new("results/policies/bitcoin_a040_g050.json"))
+        .expect("committed artifact");
+    let (alpha, gamma) = (artifact.alpha(), artifact.gamma());
+
+    let mut registry = StrategyRegistry::new();
+    let art_idx = registry.register_artifact("optimal", artifact);
+    let family_idx: Vec<(Family, usize)> = Family::representatives()
+        .into_iter()
+        .map(|f| (f, registry.register_family(f, alpha, gamma, 64)))
+        .collect();
+
+    let config = TournamentConfig {
+        runs: 5,
+        blocks: 20_000,
+        seed: SEED,
+        ..Default::default()
+    };
+    let mut tournament = Tournament::new(&registry, config);
+    let shares = vec![alpha, 1.0 - alpha];
+    tournament.add_cell(Cell::single("duopoly", art_idx, shares.clone(), gamma, 0.0));
+    for &(_, idx) in &family_idx {
+        tournament.add_cell(Cell::single("duopoly", idx, shares.clone(), gamma, 0.0));
+    }
+    let results = tournament.run();
+
+    let opt = &results[0];
+    for ((family, _), fam) in family_idx.iter().zip(&results[1..]) {
+        let combined =
+            (opt.strategists[0].std_err.powi(2) + fam.strategists[0].std_err.powi(2)).sqrt();
+        assert!(
+            opt.lead_revenue() >= fam.lead_revenue() - (3.0 * combined).max(0.005),
+            "{} earns {:.5}, beating the optimal artifact's {:.5}",
+            family.id(),
+            fam.lead_revenue(),
+            opt.lead_revenue()
+        );
+    }
+    // And the artifact must actually reproduce its own rho* here (the
+    // same bar tests/delay_study.rs sets the committed artifacts).
+    let rho = opt.strategists[0].predicted;
+    let diff = (opt.lead_revenue() - rho).abs();
+    assert!(
+        diff <= (3.0 * opt.strategists[0].std_err).max(0.01),
+        "artifact replay {:.5} vs rho* {rho:.5}",
+        opt.lead_revenue()
+    );
+}
+
+#[test]
+fn matchup_cells_field_two_strategists_deterministically() {
+    // The multi-strategist path end to end through the facade: an SM1
+    // matchup cell reports both miners, conserves revenue shares, and is
+    // a pure function of the configuration.
+    let mut registry = StrategyRegistry::new();
+    let sm1 = registry.register_family(Family::Sm1, 0.30, 0.5, 30);
+    let run = || {
+        let config = TournamentConfig {
+            runs: 2,
+            blocks: 8_000,
+            seed: SEED,
+            ..Default::default()
+        };
+        let mut tournament = Tournament::new(&registry, config);
+        tournament.add_cell(Cell::matchup("matchup", (sm1, 0.30), (sm1, 0.30), 0.5, 2.0));
+        tournament.run()
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a, b, "tournament cells are seed-deterministic");
+    let cell = &a[0];
+    assert_eq!(cell.strategists.len(), 2);
+    assert_eq!(cell.strategists[0].family, "sm1");
+    assert!(cell.strategists[0].revenue > 0.0 && cell.strategists[1].revenue > 0.0);
+    assert!(cell.orphan_rate > 0.0, "rival withholding orphans blocks");
+}

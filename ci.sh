@@ -19,6 +19,13 @@ cargo fmt --all --check
 echo "==> cargo doc (RUSTDOCFLAGS=-D warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
+echo "==> policy artifact-compat audit (legality + byte-identical re-save)"
+# Loads every committed results/policies/*.json through the v2 API:
+# unreadable, illegal or non-byte-stable tables fail the build. No
+# solving, no simulation, no network.
+SELETH_POLICIES=results/policies \
+    cargo run --release -q -p seleth-bench --bin optimal_sim -- --audit
+
 echo "==> optimal_sim agreement gate (fast settings)"
 # Small runs/blocks/truncation keep this under a minute; results go to a
 # scratch dir so the committed full-size artifacts aren't overwritten.

@@ -11,6 +11,11 @@
 //! - `policy_run_blocks_per_sec`: the same budget replaying an exported
 //!   optimal-policy table, pricing the playback executor against the
 //!   hand-coded strategy;
+//! - `policy4_run_blocks_per_sec`: the same policy broadcast over the
+//!   `match_d` axis as a four-axis table — identical decisions, identical
+//!   dynamics — isolating the strided 4-D lookup against the classic
+//!   3-D fast path. **Gated**: the four-axis rate must stay within 10%
+//!   of the classic rate (exit code 1 otherwise);
 //! - `run_many` scaling: `SELETH_BENCH_RUNS` runs (default 16) of
 //!   `blocks / 4` blocks each across worker counts 1/2/4/8, with the
 //!   parallel speedup relative to one worker.
@@ -20,7 +25,7 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use seleth_mdp::{MdpConfig, PolicyTable, RewardModel};
+use seleth_mdp::{Fork, MdpConfig, PolicyTable, RewardModel, StateSpace};
 use seleth_sim::{multi, SimConfig, Simulation};
 
 fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
@@ -65,6 +70,19 @@ fn main() {
     // --- Policy-playback throughput on the same block budget ---
     let mdp = MdpConfig::new(0.35, 0.5, RewardModel::Bitcoin).with_max_len(30);
     let table = PolicyTable::from_solution(&mdp, &mdp.solve().expect("mdp solve"));
+    // The same policy broadcast over the match_d axis: a four-axis table
+    // prescribing identical actions on every distance slice, so the two
+    // playback runs make identical decisions (checked below) and any rate
+    // difference is pure lookup cost.
+    let wide_table = PolicyTable::from_fn(
+        table.alpha(),
+        table.gamma(),
+        table.rewards(),
+        table.scenario(),
+        StateSpace::ethereum(table.max_len()),
+        table.predicted_revenue(),
+        |a, h, fork: Fork, _| table.action(a, h, fork, 0).expect("in region"),
+    );
     let policy_config = SimConfig::builder()
         .alpha(0.35)
         .gamma(0.5)
@@ -75,7 +93,7 @@ fn main() {
         .build()
         .expect("valid config");
     let mut engine = Simulation::new(policy_config.clone());
-    let (policy_s, _) = best_of(reps, || {
+    let (policy_s, policy_total) = best_of(reps, || {
         engine.reset(policy_config.clone());
         engine.run_in_place().pool.total()
     });
@@ -85,6 +103,34 @@ fn main() {
         policy_s * 1e3,
         policy_rate / 1e6,
         policy_rate / single_rate
+    );
+
+    // --- Four-axis (match_d) playback on the identical workload ---
+    let policy4_config = SimConfig::builder()
+        .alpha(0.35)
+        .gamma(0.5)
+        .n_honest(999)
+        .blocks(blocks)
+        .seed(4242)
+        .policy(wide_table)
+        .build()
+        .expect("valid config");
+    let mut engine = Simulation::new(policy4_config.clone());
+    let (policy4_s, policy4_total) = best_of(reps, || {
+        engine.reset(policy4_config.clone());
+        engine.run_in_place().pool.total()
+    });
+    assert_eq!(
+        policy_total, policy4_total,
+        "broadcast four-axis table must replay identically"
+    );
+    let policy4_rate = blocks as f64 / policy4_s;
+    let policy4_ratio = policy4_rate / policy_rate;
+    println!(
+        "policy4_run         {blocks} blocks: {:.1} ms ({:.2} Mblocks/s, {:.2}x of 3-axis)",
+        policy4_s * 1e3,
+        policy4_rate / 1e6,
+        policy4_ratio
     );
 
     // --- run_many scaling across worker counts ---
@@ -130,6 +176,9 @@ fn main() {
     field("single_run_blocks_per_sec", format!("{single_rate:.0}"));
     field("policy_run_ms", format!("{:.3}", policy_s * 1e3));
     field("policy_run_blocks_per_sec", format!("{policy_rate:.0}"));
+    field("policy4_run_ms", format!("{:.3}", policy4_s * 1e3));
+    field("policy4_run_blocks_per_sec", format!("{policy4_rate:.0}"));
+    field("policy4_vs_policy3", format!("{policy4_ratio:.3}"));
     field("many_runs", runs.to_string());
     field("many_blocks_per_run", many_blocks.to_string());
     for &(threads, s) in &scaling {
@@ -147,4 +196,14 @@ fn main() {
     let path = dir.join("BENCH_sim.json");
     std::fs::write(&path, json).expect("write BENCH_sim.json");
     println!("wrote {}", path.display());
+
+    // The four-axis lookup is the only new cost on the playback hot path;
+    // hold it to within 10% of the classic fast path.
+    if policy4_ratio < 0.9 {
+        eprintln!(
+            "FAIL: four-axis playback at {policy4_ratio:.3}x of the 3-axis rate \
+             (gate: >= 0.9)"
+        );
+        std::process::exit(1);
+    }
 }

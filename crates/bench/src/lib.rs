@@ -57,7 +57,12 @@ pub fn policies_dir() -> PathBuf {
 /// Load a policy artifact `<name>.json` from [`policies_dir`], or solve
 /// it at `(alpha, gamma, rewards, max_len)` and save it when absent —
 /// so experiment bins stay self-contained on fresh checkouts and scratch
-/// `SELETH_POLICIES` directories.
+/// `SELETH_POLICIES` directories. A cached file whose metadata disagrees
+/// with the request (e.g. a committed default-truncation artifact under
+/// a `SELETH_MDP_LEN` override — the truncation is not in the filename)
+/// is re-solved rather than silently returned mislabeled; the existing
+/// file is left untouched (only missing artifacts are written, so a
+/// knob override can never clobber the committed set).
 ///
 /// # Panics
 ///
@@ -71,14 +76,26 @@ pub fn load_or_solve_policy(
     max_len: u32,
 ) -> seleth_mdp::PolicyTable {
     let path = policies_dir().join(format!("{name}.json"));
+    let mut save_solved = true;
     if let Ok(table) = seleth_mdp::PolicyTable::load(&path) {
-        return table;
+        if table.alpha() == alpha
+            && table.gamma() == gamma
+            && table.rewards() == rewards
+            && table.max_len() == max_len
+        {
+            return table;
+        }
+        eprintln!("  (artifact {name} metadata disagrees with the request; re-solving)");
+        save_solved = false;
+    } else {
+        eprintln!("  (artifact {name} missing; solving)");
     }
-    eprintln!("  (artifact {name} missing; solving)");
     let config = seleth_mdp::MdpConfig::new(alpha, gamma, rewards).with_max_len(max_len);
     let solution = config.solve().expect("mdp solve");
     let table = seleth_mdp::PolicyTable::from_solution(&config, &solution);
-    table.save(&path).expect("save policy artifact");
+    if save_solved {
+        table.save(&path).expect("save policy artifact");
+    }
     table
 }
 

@@ -41,6 +41,6 @@ mod model;
 pub mod policy;
 mod solver;
 
-pub use model::{Action, Fork, MdpConfig, MdpError, MdpState, RewardModel};
-pub use policy::{PolicyError, PolicyTable};
+pub use model::{Action, Fork, MdpConfig, MdpError, MdpState, RewardModel, MATCH_D_CAP};
+pub use policy::{PolicyError, PolicyTable, StateSpace};
 pub use solver::{Policy, Solution};

@@ -43,8 +43,10 @@ pub struct MdpState {
     pub match_d: u8,
 }
 
-/// Cap on the stored reference distance (rewards vanish beyond 6).
-pub(crate) const MATCH_D_CAP: u8 = 7;
+/// Cap on the stored reference distance (rewards vanish beyond 6): the
+/// bound of the Ethereum MDP's `match_d` axis, and therefore of the
+/// four-axis policy tables lowered from it.
+pub const MATCH_D_CAP: u8 = 7;
 
 impl MdpState {
     /// State with no published prefix.

@@ -1,10 +1,15 @@
 //! Property tests of the policy-artifact format: save → load must be
-//! bit-identical for solved policies and for arbitrary hand-built tables.
+//! bit-identical for solved policies and for arbitrary hand-built tables
+//! — on both wire formats (classic three-axis format 1 and the four-axis
+//! format 2 with its `dims` descriptor) — and every artifact committed
+//! under `results/policies/` must load and re-save byte-identically.
+
+use std::path::PathBuf;
 
 use proptest::prelude::*;
 
 use seleth_chain::Scenario;
-use seleth_mdp::{Action, Fork, MdpConfig, PolicyTable, RewardModel};
+use seleth_mdp::{Action, Fork, MdpConfig, PolicyTable, RewardModel, StateSpace};
 
 /// Bitwise table equality: every metadata float compared by bits, every
 /// action slot compared exactly. (`PartialEq` would treat `-0.0 == 0.0`;
@@ -19,16 +24,19 @@ fn assert_bit_identical(a: &PolicyTable, b: &PolicyTable) {
     );
     assert_eq!(a.rewards(), b.rewards());
     assert_eq!(a.scenario(), b.scenario());
-    assert_eq!(a.max_len(), b.max_len());
+    assert_eq!(a.state_space(), b.state_space());
     assert_eq!(a.family(), b.family(), "family");
+    let d_bound = a.state_space().match_d_bound().unwrap_or(0);
     for fork in [Fork::Irrelevant, Fork::Relevant, Fork::Active] {
-        for x in 0..=a.max_len() {
-            for h in 0..=a.max_len() {
-                assert_eq!(
-                    a.action(x, h, fork),
-                    b.action(x, h, fork),
-                    "slot ({x}, {h}, {fork:?})"
-                );
+        for d in 0..=d_bound {
+            for x in 0..=a.max_len() {
+                for h in 0..=a.max_len() {
+                    assert_eq!(
+                        a.action(x, h, fork, d),
+                        b.action(x, h, fork, d),
+                        "slot ({x}, {h}, {fork:?}, {d})"
+                    );
+                }
             }
         }
     }
@@ -43,11 +51,42 @@ fn action_from_index(i: u8) -> Action {
     }
 }
 
+/// Every artifact committed under `results/policies/` loads through the
+/// v2 API and re-saves **byte-identically** — the compat contract that
+/// keeps pre-existing format-1 files stable across the state-space
+/// redesign (and format-2 files a fixed point of their own writer).
+#[test]
+fn committed_artifacts_resave_byte_identically() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results/policies");
+    let mut checked = 0usize;
+    for entry in std::fs::read_dir(&dir).expect("results/policies exists") {
+        let path = entry.expect("readable dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).expect("readable artifact");
+        let table = PolicyTable::from_json(&text)
+            .unwrap_or_else(|e| panic!("{} fails to parse: {e}", path.display()));
+        assert_eq!(
+            table.to_json(),
+            text,
+            "{} does not re-save byte-identically",
+            path.display()
+        );
+        checked += 1;
+    }
+    assert!(
+        checked >= 4,
+        "expected the committed artifact set, found {checked}"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
     /// Random *solved* policies round-trip bit-identically, including the
-    /// solver's full-precision revenue.
+    /// solver's full-precision revenue — Bitcoin solves on the classic
+    /// format, Ethereum solves on the four-axis format 2.
     #[test]
     fn solved_policy_roundtrip(
         alpha in 0.05f64..0.45,
@@ -63,6 +102,7 @@ proptest! {
         let config = MdpConfig::new(alpha, gamma, rewards).with_max_len(max_len);
         let solution = config.solve().expect("solve");
         let table = PolicyTable::from_solution(&config, &solution);
+        prop_assert_eq!(table.state_space().has_match_d(), !bitcoin);
         let restored = PolicyTable::from_json(&table.to_json()).expect("parse");
         assert_bit_identical(&table, &restored);
         prop_assert_eq!(restored.predicted_revenue(), solution.revenue);
@@ -73,13 +113,15 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     /// Arbitrary hand-built tables (any action pattern, any metadata
-    /// floats) round-trip bit-identically.
+    /// floats, either state-space shape) round-trip bit-identically,
+    /// dims and family tag included.
     #[test]
     fn arbitrary_table_roundtrip(
         alpha in 0.0f64..1.0,
         gamma in 0.0f64..1.0,
         revenue in -2.0f64..2.0,
         max_len in 0u32..14,
+        d_bound in 0u8..9,
         scenario2 in any::<bool>(),
         pattern in any::<u64>(),
         family_pick in any::<u8>(),
@@ -93,19 +135,27 @@ proptest! {
         } else {
             Scenario::RegularRate
         };
-        // A cheap deterministic action hash over (a, h, fork).
+        // d_bound = 0 exercises the classic shape (format 1), anything
+        // else the four-axis format 2.
+        let space = if d_bound == 0 {
+            StateSpace::classic(max_len)
+        } else {
+            StateSpace::with_match_d(max_len, d_bound)
+        };
+        // A cheap deterministic action hash over (a, h, fork, d).
         let table = PolicyTable::from_fn(
             alpha,
             gamma,
             RewardModel::EthereumApprox,
             scenario,
-            max_len,
+            space,
             revenue,
-            |a, h, fork| {
+            |a, h, fork, d| {
                 let mix = u64::from(a)
                     .wrapping_mul(0x9E37_79B9_7F4A_7C15)
                     .wrapping_add(u64::from(h).wrapping_mul(0xBF58_476D_1CE4_E5B9))
                     .wrapping_add(fork as u64)
+                    .wrapping_add(u64::from(d) << 7)
                     .wrapping_add(pattern);
                 action_from_index((mix >> 32) as u8)
             },
@@ -118,19 +168,47 @@ proptest! {
     }
 
     /// Corrupting any single action code makes the parse fail or changes
-    /// exactly that slot — never silently reinterprets the rest.
+    /// exactly that slot — never silently reinterprets the rest. Checked
+    /// on both wire formats.
     #[test]
     fn corrupt_action_codes_never_parse(byte in any::<u8>()) {
-        let json = PolicyTable::honest(0.3, 0.5, 3).to_json();
         let c = char::from(byte);
         if "aomw".contains(c) || !c.is_ascii_alphanumeric() {
             return Ok(()); // valid code or would break JSON structure
         }
-        // Replace the first action code of the irrelevant table.
-        let marker = "\"irrelevant\": \"";
-        let at = json.find(marker).expect("irrelevant field") + marker.len();
-        let mut corrupted = json.clone();
-        corrupted.replace_range(at..at + 1, &c.to_string());
-        prop_assert!(PolicyTable::from_json(&corrupted).is_err());
+        for (json, marker) in [
+            (
+                PolicyTable::honest(0.3, 0.5, 3).to_json(),
+                "\"irrelevant\": \"",
+            ),
+            (
+                Family4Stub::table().to_json(),
+                "\"actions\": \"",
+            ),
+        ] {
+            // Replace the first action code of the string.
+            let at = json.find(marker).expect("action field") + marker.len();
+            let mut corrupted = json.clone();
+            corrupted.replace_range(at..at + 1, &c.to_string());
+            prop_assert!(PolicyTable::from_json(&corrupted).is_err());
+        }
+    }
+}
+
+/// A tiny fixed four-axis table for the corruption proptest (free
+/// functions keep the macro body simple).
+struct Family4Stub;
+
+impl Family4Stub {
+    fn table() -> PolicyTable {
+        PolicyTable::from_fn(
+            0.3,
+            0.5,
+            RewardModel::EthereumApprox,
+            Scenario::RegularRate,
+            StateSpace::with_match_d(3, 7),
+            0.3,
+            |_, _, _, _| Action::Wait,
+        )
     }
 }

@@ -98,7 +98,7 @@ use serde::{Deserialize, Serialize};
 use seleth_chain::accounting::{self, MinerRewards};
 use seleth_chain::forkchoice::{longest_chain, TieBreak};
 use seleth_chain::{BlockId, BlockTree, MinerId, RewardSchedule};
-use seleth_mdp::{Action, Fork, PolicyTable};
+use seleth_mdp::{Action, Fork, PolicyTable, StateSpace};
 
 use crate::config::SimError;
 
@@ -365,6 +365,10 @@ struct Strategist {
     h: u64,
     /// MDP fork qualifier, maintained exactly as in the engine.
     fork: Fork,
+    /// Published-prefix reference distance, maintained exactly as in the
+    /// engine: fixed at the heard height of the epoch's first match,
+    /// cleared when the epoch settles. Four-axis tables consult it.
+    match_d: u8,
     /// Released blocks by other miners, not yet heard; a block `b` is
     /// heard at `pub_time(b) + delay`. Release times never decrease, so
     /// the queue is sorted by hear time.
@@ -424,6 +428,7 @@ impl DelaySimulation {
                     best_heard: genesis,
                     h: 0,
                     fork: Fork::Irrelevant,
+                    match_d: 0,
                     inbox: VecDeque::new(),
                 }),
             })
@@ -611,7 +616,7 @@ impl DelaySimulation {
     }
 
     /// Strategic miner `i` hears `block` at time `t`: update its private
-    /// view of the `(a, h, fork)` state and consult the table.
+    /// view of the `(a, h, fork, match_d)` state and consult the table.
     fn hear(&mut self, i: usize, block: BlockId, t: f64) {
         let Self {
             tree, strategists, ..
@@ -643,6 +648,10 @@ impl DelaySimulation {
                 s.fork_base = s.private[k - 1];
                 s.private.drain(..k);
                 s.published_count -= k;
+                if s.published_count == 0 {
+                    // No public prefix left in the new epoch.
+                    s.match_d = 0;
+                }
             }
             s.h = tip_h - tree.height(s.fork_base);
             s.fork = Fork::Relevant;
@@ -658,6 +667,7 @@ impl DelaySimulation {
                 s.published_count = 0;
                 s.h = 0;
                 s.fork = Fork::Irrelevant;
+                s.match_d = 0;
             }
             return;
         }
@@ -670,7 +680,7 @@ impl DelaySimulation {
         let s = &self.strategists[i];
         let a = u32::try_from(s.private.len()).unwrap_or(u32::MAX);
         let h = u32::try_from(s.h).unwrap_or(u32::MAX);
-        match s.table.decide(a, h, s.fork) {
+        match s.table.decide(a, h, s.fork, s.match_d) {
             Action::Wait => {}
             Action::Adopt => self.strategic_adopt(i),
             Action::Override => self.strategic_override(i, t),
@@ -689,6 +699,7 @@ impl DelaySimulation {
         s.published_count = 0;
         s.h = 0;
         s.fork = Fork::Irrelevant;
+        s.match_d = 0;
     }
 
     /// *Override*: release the first `h + 1` private blocks, outracing the
@@ -703,6 +714,7 @@ impl DelaySimulation {
             s.published_count = s.published_count.saturating_sub(h + 1);
             s.h = 0;
             s.fork = Fork::Irrelevant;
+            s.match_d = 0;
             (released, s.miner)
         };
         for b in to_release {
@@ -721,6 +733,11 @@ impl DelaySimulation {
             let released: Vec<BlockId> = s.private[s.published_count.min(h)..h].to_vec();
             s.published_count = h;
             s.fork = Fork::Active;
+            // The epoch's first match fixes the prefix's reference
+            // distance (the MDP's match_d); re-matches keep it.
+            if s.match_d == 0 {
+                s.match_d = StateSpace::first_match_d(u32::try_from(s.h).unwrap_or(u32::MAX));
+            }
             (released, s.miner)
         };
         for b in to_release {
@@ -1159,7 +1176,7 @@ mod tests {
         // PolicyTable::decide fallback, never a panic — including under
         // delay, where overrides can lose races.
         for (bad, seed) in [(Action::Override, 21u64), (Action::Match, 22)] {
-            let table = PolicyTable::from_fn(
+            let table = PolicyTable::from_fn3(
                 0.3,
                 0.5,
                 RewardModel::Bitcoin,
@@ -1189,7 +1206,7 @@ mod tests {
         // An all-wait table truncated at 3: the private branch must be
         // conceded at the boundary, so the pool's stale blocks exist but
         // the run completes with full accounting.
-        let table = PolicyTable::from_fn(
+        let table = PolicyTable::from_fn3(
             0.45,
             0.5,
             RewardModel::Bitcoin,
@@ -1210,7 +1227,7 @@ mod tests {
     /// parametric generators live upstream in `seleth-zoo`; this inline
     /// rule keeps the engine tests self-contained).
     fn sm1_table(alpha: f64, gamma: f64, max_len: u32) -> PolicyTable {
-        PolicyTable::from_fn(
+        PolicyTable::from_fn3(
             alpha,
             gamma,
             RewardModel::Bitcoin,
@@ -1338,7 +1355,7 @@ mod tests {
         // Policy-space tooling on top of PolicyTable::from_fn: a
         // trail-stubborn variant keeps mining one block behind instead of
         // adopting — legal everywhere, never solver-produced.
-        let table = PolicyTable::from_fn(
+        let table = PolicyTable::from_fn3(
             0.4,
             0.5,
             RewardModel::Bitcoin,

@@ -18,13 +18,17 @@
 //! exported MDP policy artifact ([`seleth_mdp::PolicyTable`],
 //! [`crate::config::PoolStrategy::Table`]). Playback follows the MDP's
 //! decision structure: before every block event the pool consults the
-//! table at the live `(a, h, fork)` state and executes the prescribed
-//! action over the real block tree — *adopt* (abandon the private branch),
-//! *override* (publish `h + 1` blocks), *match* (publish a matching
-//! prefix, splitting honest mining by `γ`), or *wait*. The fork qualifier
-//! is tracked exactly as in the MDP: *irrelevant* after a pool block,
-//! *relevant* after an honest block, *active* while a published match race
-//! is live. Fallback semantics: any state outside the table's truncation —
+//! table at the live `(a, h, fork, match_d)` state and executes the
+//! prescribed action over the real block tree — *adopt* (abandon the
+//! private branch), *override* (publish `h + 1` blocks), *match* (publish
+//! a matching prefix, splitting honest mining by `γ`), or *wait*. The
+//! fork qualifier is tracked exactly as in the MDP: *irrelevant* after a
+//! pool block, *relevant* after an honest block, *active* while a
+//! published match race is live. So is the published-prefix reference
+//! distance `match_d` — fixed at the height of the epoch's first match,
+//! cleared when the epoch settles — which four-axis Ethereum-model
+//! artifacts consult as their fourth coordinate (classic tables ignore
+//! it). Fallback semantics: any state outside the table's truncation —
 //! and any action illegal in the live state — degrades to a forced
 //! *adopt*. Table lookups are flat-array arithmetic; the playback hot path
 //! allocates nothing beyond what the block tree itself needs.
@@ -36,7 +40,7 @@ use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha12Rng;
 
 use seleth_chain::{BlockId, BlockTree, MinerId};
-use seleth_mdp::{Action, Fork};
+use seleth_mdp::{Action, Fork, StateSpace};
 
 use crate::config::{PoolStrategy, SimConfig};
 use crate::stats::SimReport;
@@ -64,6 +68,12 @@ pub struct Simulation {
     /// MDP fork qualifier, maintained by the policy-playback executor
     /// (the hand-coded strategies ignore it).
     fork: Fork,
+    /// Published-prefix reference distance, maintained by the
+    /// policy-playback executor exactly as in the MDP: 0 while no prefix
+    /// of the private branch is public this epoch, otherwise the honest
+    /// height at the epoch's *first* match (capped at [`seleth_mdp::MATCH_D_CAP`]),
+    /// fixed until the epoch settles. Four-axis tables consult it.
+    match_d: u8,
     // --- statistics ---
     blocks_mined: u64,
     state_visits: HashMap<(u32, u32), u64>,
@@ -85,6 +95,7 @@ impl Simulation {
             published_count: 0,
             honest_branch: Vec::new(),
             fork: Fork::Irrelevant,
+            match_d: 0,
             blocks_mined: 0,
             state_visits: HashMap::new(),
         }
@@ -113,6 +124,7 @@ impl Simulation {
         self.published_count = 0;
         self.honest_branch.clear();
         self.fork = Fork::Irrelevant;
+        self.match_d = 0;
         self.blocks_mined = 0;
         self.state_visits.clear();
     }
@@ -291,8 +303,8 @@ impl Simulation {
     // policy over the real block tree.
     // ------------------------------------------------------------------
 
-    /// Consult the table at the live `(a, h, fork)` state and execute the
-    /// prescribed action.
+    /// Consult the table at the live `(a, h, fork, match_d)` state and
+    /// execute the prescribed action.
     ///
     /// Fallback semantics (both documented and tested): if the live state
     /// lies outside the table's truncation region, or the table prescribes
@@ -307,7 +319,7 @@ impl Simulation {
         let table = self.config.policy().expect("Table strategy has a table");
         let a = self.private.len() as u32;
         let h = self.honest_branch.len() as u32;
-        match table.decide(a, h, self.fork) {
+        match table.decide(a, h, self.fork, self.match_d) {
             Action::Wait => {}
             Action::Adopt => self.policy_adopt(),
             Action::Override => self.policy_override(),
@@ -332,6 +344,7 @@ impl Simulation {
             }
         }
         self.fork = Fork::Irrelevant;
+        self.match_d = 0;
     }
 
     /// *Override*: publish the first `h + 1` private blocks, orphaning the
@@ -348,10 +361,14 @@ impl Simulation {
         self.honest_branch.clear();
         self.fork_base = new_base;
         self.fork = Fork::Irrelevant;
+        self.match_d = 0;
     }
 
     /// *Match*: publish a private prefix of length `h`, splitting the
-    /// network between two equal-length public branches.
+    /// network between two equal-length public branches. The epoch's
+    /// first match fixes the prefix's reference distance at the current
+    /// honest height (the MDP's `match_d` semantics); re-matches — the
+    /// progressive reveal — keep the original distance.
     fn policy_match(&mut self) {
         let h = self.honest_branch.len();
         debug_assert!(self.private.len() >= h && h >= 1);
@@ -360,6 +377,9 @@ impl Simulation {
         }
         self.published_count = h;
         self.fork = Fork::Active;
+        if self.match_d == 0 {
+            self.match_d = StateSpace::first_match_d(h as u32);
+        }
     }
 
     /// Pool block under playback: always mined privately (publication is
@@ -399,6 +419,7 @@ impl Simulation {
                 self.honest_branch.clear();
                 self.honest_branch.push(block);
                 self.fork = Fork::Relevant;
+                self.match_d = 0;
                 return;
             }
         }
@@ -766,7 +787,7 @@ mod tests {
     /// A table that always waits (adopting only where wait is absent from
     /// the artifact, i.e. outside truncation via fallback).
     fn all_wait_table(max_len: u32) -> seleth_mdp::PolicyTable {
-        seleth_mdp::PolicyTable::from_fn(
+        seleth_mdp::PolicyTable::from_fn3(
             0.3,
             0.5,
             seleth_mdp::RewardModel::Bitcoin,
@@ -781,7 +802,7 @@ mod tests {
     fn playback_override_settles_the_lead() {
         // Sapirshtein-style: wait at (1,0) and (2,0); override once honest
         // catches up. Encode just that far and rely on fallback elsewhere.
-        let table = seleth_mdp::PolicyTable::from_fn(
+        let table = seleth_mdp::PolicyTable::from_fn3(
             0.3,
             0.5,
             seleth_mdp::RewardModel::Bitcoin,
@@ -818,7 +839,7 @@ mod tests {
     fn playback_match_splits_and_gamma_resolves() {
         // Always match when possible, γ = 1: every honest block after a
         // match mines on the pool's prefix, handing the pool the epoch.
-        let table = seleth_mdp::PolicyTable::from_fn(
+        let table = seleth_mdp::PolicyTable::from_fn3(
             0.3,
             1.0,
             seleth_mdp::RewardModel::Bitcoin,
@@ -878,7 +899,7 @@ mod tests {
         // A malicious/corrupt table prescribing override everywhere: with
         // a = 0 ≤ h the override is illegal and must degrade to adopt
         // rather than panic.
-        let table = seleth_mdp::PolicyTable::from_fn(
+        let table = seleth_mdp::PolicyTable::from_fn3(
             0.3,
             0.5,
             seleth_mdp::RewardModel::Bitcoin,

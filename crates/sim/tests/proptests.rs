@@ -166,7 +166,7 @@ proptest! {
         if strategic {
             // A hand-written withholding table (never solver-produced):
             // hold small leads, override when caught, adopt behind.
-            let table = PolicyTable::from_fn(
+            let table = PolicyTable::from_fn3(
                 0.3,
                 0.5,
                 RewardModel::Bitcoin,

@@ -1,7 +1,7 @@
 //! The strategy-zoo tournament: every hand-written family, the MDP
 //! optimum, and multi-strategist matchups, ranked under one harness.
 //!
-//! Sweep: strategy (5 family representatives + the solved artifact at
+//! Sweep: strategy (6 family representatives + the solved artifact at
 //! each `(α, γ)` point) × share split (duopoly, 2018 pool landscape) ×
 //! propagation delay, plus two-strategist **matchup** cells (SM1 vs SM1,
 //! and the optimal artifact vs SM1, in one delay-simulator run each).
@@ -15,7 +15,13 @@
 //!   point within 3 standard errors or 1% absolute.
 //! - **Optimum dominates**: the solved artifact's zero-delay duopoly
 //!   revenue must be ≥ every hand-written family's at the same `(α, γ)`,
-//!   within combined Monte-Carlo noise.
+//!   within combined Monte-Carlo noise. Applies to families scored under
+//!   the artifact's own (Bitcoin) schedule; uncle-aware families replay
+//!   under the Ethereum schedule — where the Bitcoin ρ* is *not* an
+//!   upper bound (they measurably beat it, e.g. 0.397 vs 0.371 at
+//!   α = 0.35, γ = 0: the paper's uncle-subsidy headline inside the
+//!   zoo) — and are instead gated below the **Ethereum-model** optimum
+//!   ρ* at the same point.
 //!
 //! Family tables are generated at truncation `SELETH_ZOO_LEN` (default
 //! 64): SM1-family replays are *truncation-sensitive* at `γ = 0` —
@@ -36,7 +42,7 @@
 use std::fmt::Write as _;
 
 use seleth_bench::json_f64;
-use seleth_mdp::{PolicyTable, RewardModel};
+use seleth_mdp::{MdpConfig, PolicyTable, RewardModel};
 use seleth_sim::pools;
 use seleth_zoo::{
     sm1_closed_form, Cell, CellResult, Family, StrategyRegistry, Tournament, TournamentConfig,
@@ -319,9 +325,15 @@ fn main() {
             );
             failed = true;
         }
-        // Gate 2: the optimum dominates every hand-written family.
+        // Gate 2: the optimum dominates every hand-written family *scored
+        // under the same reward schedule*. Tournament cells follow the
+        // lead strategist's reward model, so uncle-aware families replay
+        // under the Ethereum schedule, where a Bitcoin-model ρ* is not an
+        // upper bound (the paper's headline — uncle rewards make the
+        // chain more attackable — showing up inside the zoo); they get
+        // their own Ethereum-model bound in gate 3.
         let opt = zero_duopoly(p.artifact, p.artifact).expect("artifact zero-delay duopoly cell");
-        for family in &families {
+        for family in families.iter().filter(|f| !f.is_uncle_aware()) {
             let fam =
                 zero_duopoly(&family.id(), p.artifact).expect("family zero-delay duopoly cell");
             let combined =
@@ -341,6 +353,40 @@ fn main() {
                     opt.lead_revenue()
                 );
                 failed = true;
+            }
+        }
+        // Gate 3: uncle-aware families stay below the *Ethereum-model*
+        // optimum ρ* at their point — the correct upper bound for an
+        // Ethereum-schedule replay. The tolerance is additive: a 1%
+        // absolute model-gap allowance (the documented first-order gap
+        // between the MDP's reward model and the simulator's real uncle
+        // accounting) *plus* the Monte-Carlo noise of the measurement —
+        // two independent slop sources, so they sum rather than max.
+        if families.iter().any(Family::is_uncle_aware) {
+            let eth_rho = MdpConfig::new(p.alpha, p.gamma, RewardModel::EthereumApprox)
+                .with_max_len(mdp_len)
+                .solve()
+                .expect("ethereum mdp solve")
+                .revenue;
+            for family in families.iter().filter(|f| f.is_uncle_aware()) {
+                let fam =
+                    zero_duopoly(&family.id(), p.artifact).expect("family zero-delay duopoly cell");
+                let se = fam.strategists[0].std_err;
+                let tol = if smoke {
+                    0.05 + 4.0 * se
+                } else {
+                    0.01 + 3.0 * se
+                };
+                if fam.lead_revenue() > eth_rho + tol {
+                    eprintln!(
+                        "FAIL {}@{}: family revenue {:.5} beats the Ethereum-model optimum \
+                         {eth_rho:.5} beyond tolerance {tol:.5}",
+                        family.id(),
+                        p.artifact,
+                        fam.lead_revenue(),
+                    );
+                    failed = true;
+                }
             }
         }
     }

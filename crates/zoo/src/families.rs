@@ -1,12 +1,16 @@
 //! Parametric strategy families, lowered into [`PolicyTable`] artifacts.
 //!
 //! Every published hand-written withholding strategy is a rule over the
-//! MDP's `(a, h, fork)` state abstraction, which makes
-//! [`PolicyTable::from_fn`] the natural compilation target: a family plus
-//! its parameters becomes a dense table, tagged with a machine-readable
-//! family id ([`PolicyTable::family`]), and every executor that replays
-//! artifacts — the instant-broadcast engine, the propagation-delay
-//! simulator, the tournament harness — can play it without new code.
+//! MDP's state abstraction, which makes [`PolicyTable::from_fn`] — the
+//! state-space-generic constructor — the natural compilation target: a
+//! family plus its parameters becomes a dense table over an explicit
+//! [`StateSpace`], tagged with a machine-readable family id
+//! ([`PolicyTable::family`]), and every executor that replays artifacts —
+//! the instant-broadcast engine, the propagation-delay simulator, the
+//! tournament harness — can play it without new code. Distance-blind
+//! families lower to the classic three-axis shape; uncle-aware families
+//! lower to the four-axis shape and genuinely condition on the
+//! published-prefix reference distance `match_d`.
 //!
 //! The families, in the MDP's decision order (consulted after every mined
 //! or heard block):
@@ -30,13 +34,21 @@
 //!   matching prefixes at all — tie races and the deep-lead progressive
 //!   reveal — exposing itself to the `tie_gamma` split, or withholds
 //!   everything until an override, γ-blind.
+//! - [`Family::UncleTrailStubborn`] `T_k^{d ≤ c}` — the uncle-aware
+//!   variant over the fourth axis: trail-stubborn `T_k` that, once its
+//!   published prefix's reference distance is fixed at `d ≤ cash_d`
+//!   (uncle reward `Ku(d)` still rich), *adopts* the moment it falls
+//!   behind — cashing the paper's uncle subsidy instead of gambling the
+//!   trail — while staying stubborn when no prefix is out or the
+//!   distance is poor. With `cash_d = 0` (or when no prefix is ever
+//!   published) it is exactly `T_k`.
 //!
 //! Every generated table prescribes only *legal* actions inside its
 //! truncation region ([`PolicyTable::is_legal_everywhere`]), so replays
 //! never hit the forced-adopt fallback except at the truncation boundary.
 
 use seleth_chain::Scenario;
-use seleth_mdp::{Action, Fork, PolicyTable, RewardModel};
+use seleth_mdp::{Action, Fork, PolicyTable, RewardModel, StateSpace};
 
 /// A parametric hand-written withholding strategy (see the
 /// [module docs](self) for the catalogue).
@@ -65,6 +77,18 @@ pub enum Family {
         /// variant); `false`: withhold through ties, γ-blind.
         race: bool,
     },
+    /// Uncle-aware trail-stubborn `T_k^{d ≤ cash_d}`: trail-stubborn that
+    /// concedes early — adopting as soon as it falls behind — whenever
+    /// its published prefix is fixed at a reference distance `d ≤ cash_d`
+    /// and the uncle subsidy is therefore still rich. The only family
+    /// whose rule reads the fourth (`match_d`) axis; it lowers to a
+    /// four-axis table.
+    UncleTrailStubborn {
+        /// Maximum tolerated trail while no rich prefix is cashable.
+        k: u32,
+        /// Largest reference distance considered worth cashing.
+        cash_d: u8,
+    },
 }
 
 impl Family {
@@ -77,6 +101,7 @@ impl Family {
             Family::LeadStubborn { k: 2 },
             Family::TrailStubborn { k: 1 },
             Family::EqualForkStubborn { race: true },
+            Family::UncleTrailStubborn { k: 1, cash_d: 2 },
         ]
     }
 
@@ -91,15 +116,25 @@ impl Family {
             Family::TrailStubborn { k } => format!("trail_stubborn_t{k}"),
             Family::EqualForkStubborn { race: true } => "equal_fork_stubborn_race".into(),
             Family::EqualForkStubborn { race: false } => "equal_fork_stubborn_hidden".into(),
+            Family::UncleTrailStubborn { k, cash_d } => {
+                format!("uncle_trail_stubborn_t{k}_d{cash_d}")
+            }
         }
     }
 
-    /// The family's prescription in state `(a, h, fork)`.
+    /// `true` when the family's rule reads the published-prefix reference
+    /// distance — such families lower to four-axis tables.
+    pub fn is_uncle_aware(&self) -> bool {
+        matches!(self, Family::UncleTrailStubborn { .. })
+    }
+
+    /// The family's prescription in state `(a, h, fork, match_d)`.
+    /// Distance-blind families ignore `match_d`.
     ///
     /// Every returned action is legal in its state under
     /// [`PolicyTable::decide`]'s rules: *override* only with `a > h`,
     /// *match* only in a coverable relevant race (`a ≥ h ≥ 1`).
-    pub fn action(&self, a: u32, h: u32, fork: Fork) -> Action {
+    pub fn action(&self, a: u32, h: u32, fork: Fork, match_d: u8) -> Action {
         match self {
             Family::Honest => {
                 if a > h {
@@ -123,15 +158,7 @@ impl Family {
                     sm1_action(a, h, fork)
                 }
             }
-            Family::TrailStubborn { k } => {
-                // Concede only when the trail exceeds k; otherwise keep
-                // mining behind (h ≤ a + k) exactly like SM1 would ahead.
-                if h > a && h <= a + *k {
-                    Action::Wait
-                } else {
-                    sm1_action(a, h, fork)
-                }
-            }
+            Family::TrailStubborn { k } => trail_stubborn_action(a, h, fork, *k),
             Family::EqualForkStubborn { race } => {
                 let base = sm1_action(a, h, fork);
                 if !*race && base == Action::Match {
@@ -144,6 +171,16 @@ impl Family {
                     Action::Wait
                 } else {
                     base
+                }
+            }
+            Family::UncleTrailStubborn { k, cash_d } => {
+                if h > a && (1..=*cash_d).contains(&match_d) {
+                    // Behind with a rich published prefix: concede now and
+                    // collect Ku(match_d) — the paper's subsidy effect —
+                    // instead of gambling the trail away.
+                    Action::Adopt
+                } else {
+                    trail_stubborn_action(a, h, fork, *k)
                 }
             }
         }
@@ -164,18 +201,26 @@ impl Family {
 
     /// Lower the family into a replayable [`PolicyTable`] artifact for an
     /// attacker of size `alpha` under tie-breaking `gamma`, truncated at
-    /// `max_len`, tagged with [`Family::id`]. Family actions do not depend
-    /// on `(α, γ)` — the parameters are metadata (and the predicted
-    /// revenue) only, exactly as for solver artifacts.
+    /// `max_len`, tagged with [`Family::id`]. Distance-blind families
+    /// lower to [`StateSpace::classic`]; uncle-aware ones to the
+    /// four-axis [`StateSpace::ethereum`] shape (and record the Ethereum
+    /// reward model their rule targets). Family actions do not depend on
+    /// `(α, γ)` — the parameters are metadata (and the predicted revenue)
+    /// only, exactly as for solver artifacts.
     pub fn table(&self, alpha: f64, gamma: f64, max_len: u32) -> PolicyTable {
+        let (space, rewards) = if self.is_uncle_aware() {
+            (StateSpace::ethereum(max_len), RewardModel::EthereumApprox)
+        } else {
+            (StateSpace::classic(max_len), RewardModel::Bitcoin)
+        };
         PolicyTable::from_fn(
             alpha,
             gamma,
-            RewardModel::Bitcoin,
+            rewards,
             Scenario::RegularRate,
-            max_len,
+            space,
             self.predicted_revenue(alpha, gamma),
-            |a, h, fork| self.action(a, h, fork),
+            |a, h, fork, d| self.action(a, h, fork, d),
         )
         .with_family(self.id())
     }
@@ -211,6 +256,18 @@ fn sm1_action(a: u32, h: u32, fork: Fork) -> Action {
         // The same states mid-race (active fork) or after the pool's own
         // block (irrelevant): the prefix is already out; keep mining.
         Action::Wait
+    }
+}
+
+/// The trail-stubborn `T_k` rule: concede only when the trail exceeds
+/// `k`; otherwise keep mining behind (`h ≤ a + k`) exactly like SM1 would
+/// ahead. Shared by [`Family::TrailStubborn`] and the uncle-aware
+/// variant's distance-poor slices.
+fn trail_stubborn_action(a: u32, h: u32, fork: Fork, k: u32) -> Action {
+    if h > a && h <= a + k {
+        Action::Wait
+    } else {
+        sm1_action(a, h, fork)
     }
 }
 
@@ -269,6 +326,10 @@ mod tests {
             Family::EqualForkStubborn { race: false }.id(),
             "equal_fork_stubborn_hidden"
         );
+        assert_eq!(
+            Family::UncleTrailStubborn { k: 2, cash_d: 3 }.id(),
+            "uncle_trail_stubborn_t2_d3"
+        );
     }
 
     #[test]
@@ -277,15 +338,24 @@ mod tests {
             for a in 0..12 {
                 for h in 0..12 {
                     assert_eq!(
-                        Family::LeadStubborn { k: 0 }.action(a, h, fork),
-                        Family::Sm1.action(a, h, fork),
+                        Family::LeadStubborn { k: 0 }.action(a, h, fork, 0),
+                        Family::Sm1.action(a, h, fork, 0),
                         "L_0 at ({a}, {h}, {fork:?})"
                     );
                     assert_eq!(
-                        Family::TrailStubborn { k: 0 }.action(a, h, fork),
-                        Family::Sm1.action(a, h, fork),
+                        Family::TrailStubborn { k: 0 }.action(a, h, fork, 0),
+                        Family::Sm1.action(a, h, fork, 0),
                         "T_0 at ({a}, {h}, {fork:?})"
                     );
+                    // With nothing worth cashing the uncle-aware variant
+                    // is exactly trail-stubborn, on every distance slice.
+                    for d in 0..=7u8 {
+                        assert_eq!(
+                            Family::UncleTrailStubborn { k: 2, cash_d: 0 }.action(a, h, fork, d),
+                            Family::TrailStubborn { k: 2 }.action(a, h, fork, d),
+                            "T_2^0 at ({a}, {h}, {fork:?}, {d})"
+                        );
+                    }
                 }
             }
         }
@@ -304,6 +374,12 @@ mod tests {
                 assert_eq!(table.family(), family.id());
                 assert_eq!(table.alpha(), 0.35);
                 assert_eq!(table.gamma(), 0.5);
+                assert_eq!(
+                    table.state_space().has_match_d(),
+                    family.is_uncle_aware(),
+                    "{} lowers to the wrong shape",
+                    family.id()
+                );
             }
         }
     }
@@ -311,41 +387,65 @@ mod tests {
     #[test]
     fn sm1_plays_the_textbook_states() {
         let f = Family::Sm1;
-        assert_eq!(f.action(0, 0, Fork::Irrelevant), Action::Wait);
-        assert_eq!(f.action(1, 0, Fork::Irrelevant), Action::Wait);
-        assert_eq!(f.action(0, 1, Fork::Relevant), Action::Adopt);
-        assert_eq!(f.action(1, 1, Fork::Relevant), Action::Match);
-        assert_eq!(f.action(1, 1, Fork::Active), Action::Wait);
-        assert_eq!(f.action(2, 1, Fork::Relevant), Action::Override);
-        assert_eq!(f.action(2, 1, Fork::Active), Action::Override);
+        assert_eq!(f.action(0, 0, Fork::Irrelevant, 0), Action::Wait);
+        assert_eq!(f.action(1, 0, Fork::Irrelevant, 0), Action::Wait);
+        assert_eq!(f.action(0, 1, Fork::Relevant, 0), Action::Adopt);
+        assert_eq!(f.action(1, 1, Fork::Relevant, 0), Action::Match);
+        assert_eq!(f.action(1, 1, Fork::Active, 0), Action::Wait);
+        assert_eq!(f.action(2, 1, Fork::Relevant, 0), Action::Override);
+        assert_eq!(f.action(2, 1, Fork::Active, 0), Action::Override);
         // The progressive reveal: at a comfortable lead SM1 keeps its
         // public prefix level with the honest chain.
-        assert_eq!(f.action(3, 1, Fork::Relevant), Action::Match);
-        assert_eq!(f.action(5, 2, Fork::Relevant), Action::Match);
+        assert_eq!(f.action(3, 1, Fork::Relevant, 0), Action::Match);
+        assert_eq!(f.action(5, 2, Fork::Relevant, 0), Action::Match);
         // Mid-race / after an own block the prefix is already out.
-        assert_eq!(f.action(3, 1, Fork::Active), Action::Wait);
-        assert_eq!(f.action(3, 1, Fork::Irrelevant), Action::Wait);
-        assert_eq!(f.action(3, 0, Fork::Irrelevant), Action::Wait);
+        assert_eq!(f.action(3, 1, Fork::Active, 0), Action::Wait);
+        assert_eq!(f.action(3, 1, Fork::Irrelevant, 0), Action::Wait);
+        assert_eq!(f.action(3, 0, Fork::Irrelevant, 0), Action::Wait);
     }
 
     #[test]
     fn stubborn_variants_deviate_where_advertised() {
         // Lead-stubborn ties short races instead of overriding.
         let lead = Family::LeadStubborn { k: 2 };
-        assert_eq!(lead.action(2, 1, Fork::Relevant), Action::Match);
-        assert_eq!(lead.action(3, 2, Fork::Relevant), Action::Override);
+        assert_eq!(lead.action(2, 1, Fork::Relevant, 0), Action::Match);
+        assert_eq!(lead.action(3, 2, Fork::Relevant, 0), Action::Override);
         // Trail-stubborn tolerates a bounded trail.
         let trail = Family::TrailStubborn { k: 1 };
-        assert_eq!(trail.action(1, 2, Fork::Relevant), Action::Wait);
-        assert_eq!(trail.action(1, 3, Fork::Relevant), Action::Adopt);
+        assert_eq!(trail.action(1, 2, Fork::Relevant, 0), Action::Wait);
+        assert_eq!(trail.action(1, 3, Fork::Relevant, 0), Action::Adopt);
         // Equal-fork-stubborn keeps a won race private...
         let efs = Family::EqualForkStubborn { race: true };
-        assert_eq!(efs.action(2, 1, Fork::Active), Action::Wait);
-        assert_eq!(efs.action(2, 1, Fork::Relevant), Action::Override);
+        assert_eq!(efs.action(2, 1, Fork::Active, 0), Action::Wait);
+        assert_eq!(efs.action(2, 1, Fork::Relevant, 0), Action::Override);
         // ...and the hidden variant never reveals anything early.
         let hidden = Family::EqualForkStubborn { race: false };
-        assert_eq!(hidden.action(1, 1, Fork::Relevant), Action::Wait);
-        assert_eq!(hidden.action(4, 2, Fork::Relevant), Action::Wait);
-        assert_eq!(hidden.action(2, 1, Fork::Relevant), Action::Override);
+        assert_eq!(hidden.action(1, 1, Fork::Relevant, 0), Action::Wait);
+        assert_eq!(hidden.action(4, 2, Fork::Relevant, 0), Action::Wait);
+        assert_eq!(hidden.action(2, 1, Fork::Relevant, 0), Action::Override);
+    }
+
+    #[test]
+    fn uncle_aware_family_reads_the_fourth_axis() {
+        let f = Family::UncleTrailStubborn { k: 2, cash_d: 2 };
+        // No prefix out (d = 0): stubborn, tolerate the trail.
+        assert_eq!(f.action(1, 2, Fork::Relevant, 0), Action::Wait);
+        // Rich prefix (d ≤ 2): cash the uncle the moment it is behind.
+        assert_eq!(f.action(1, 2, Fork::Relevant, 1), Action::Adopt);
+        assert_eq!(f.action(1, 2, Fork::Relevant, 2), Action::Adopt);
+        // Poor prefix (d > 2): back to stubborn.
+        assert_eq!(f.action(1, 2, Fork::Relevant, 3), Action::Wait);
+        // Ahead or level, the distance changes nothing.
+        for d in 0..=7u8 {
+            assert_eq!(f.action(3, 1, Fork::Relevant, d), Action::Match);
+            assert_eq!(f.action(2, 2, Fork::Relevant, d), Action::Match);
+        }
+        // And the lowered table puts those prescriptions on the right
+        // slices.
+        let table = f.table(0.3, 0.5, 8);
+        assert!(table.state_space().has_match_d());
+        assert_eq!(table.decide(1, 2, Fork::Relevant, 0), Action::Wait);
+        assert_eq!(table.decide(1, 2, Fork::Relevant, 1), Action::Adopt);
+        assert_eq!(table.decide(1, 2, Fork::Relevant, 3), Action::Wait);
     }
 }

@@ -1,5 +1,6 @@
 //! Property tests of the strategy-family generators: every lowered table
-//! must survive the artifact JSON round-trip bit-identically, and the
+//! must survive the artifact JSON round-trip bit-identically (including
+//! the four-axis uncle-aware tables on the v2 wire format), and the
 //! honest/SM1 families must never trigger the forced-adopt fallback
 //! inside their truncation region.
 
@@ -11,13 +12,17 @@ use seleth_zoo::Family;
 /// The family picked by an arbitrary byte (the vendored proptest has no
 /// enum strategies).
 fn family_from(pick: u8, k: u32) -> Family {
-    match pick % 6 {
+    match pick % 7 {
         0 => Family::Honest,
         1 => Family::Sm1,
         2 => Family::LeadStubborn { k },
         3 => Family::TrailStubborn { k },
         4 => Family::EqualForkStubborn { race: true },
-        _ => Family::EqualForkStubborn { race: false },
+        5 => Family::EqualForkStubborn { race: false },
+        _ => Family::UncleTrailStubborn {
+            k,
+            cash_d: (k % 7) as u8,
+        },
     }
 }
 
@@ -25,8 +30,9 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     /// Every generated family table round-trips through the artifact JSON
-    /// bit-identically — metadata floats by bits, the family tag and every
-    /// action slot exactly.
+    /// bit-identically — metadata floats by bits, the family tag, the
+    /// state-space descriptor and every action slot exactly. Uncle-aware
+    /// families exercise the four-axis format-2 wire format.
     #[test]
     fn family_tables_roundtrip_bit_identically(
         pick in any::<u8>(),
@@ -47,6 +53,8 @@ proptest! {
         );
         prop_assert_eq!(table.family(), family.id());
         prop_assert_eq!(restored.family(), family.id());
+        prop_assert_eq!(table.state_space(), restored.state_space());
+        prop_assert_eq!(table.state_space().has_match_d(), family.is_uncle_aware());
         // A second trip is a fixed point of the text form too.
         prop_assert_eq!(table.to_json(), restored.to_json());
     }
@@ -67,8 +75,8 @@ proptest! {
                 for a in 0..=max_len {
                     for h in 0..=max_len {
                         prop_assert_eq!(
-                            table.decide(a, h, fork),
-                            family.action(a, h, fork),
+                            table.decide(a, h, fork, 0),
+                            family.action(a, h, fork, 0),
                             "{} at ({}, {}, {:?})", family.id(), a, h, fork
                         );
                     }
@@ -77,22 +85,51 @@ proptest! {
         }
     }
 
-    /// The stubborn variants are legal everywhere too, for any parameter.
+    /// The stubborn variants are legal everywhere too, for any parameter —
+    /// including the uncle-aware variant across its whole distance axis.
     #[test]
     fn stubborn_families_lower_to_legal_tables(
         k in 0u32..9,
         race in any::<bool>(),
+        cash_d in 0u8..8,
         max_len in 1u32..12,
     ) {
         for family in [
             Family::LeadStubborn { k },
             Family::TrailStubborn { k },
             Family::EqualForkStubborn { race },
+            Family::UncleTrailStubborn { k, cash_d },
         ] {
             prop_assert!(
                 family.table(0.3, 0.5, max_len).is_legal_everywhere(),
                 "{}", family.id()
             );
+        }
+    }
+
+    /// The uncle-aware generator honours `decide` across the fourth axis:
+    /// every `(state, distance)` slot of the lowered four-axis table
+    /// replays the family rule unchanged.
+    #[test]
+    fn uncle_aware_tables_replay_their_rule_on_every_slice(
+        k in 0u32..4,
+        cash_d in 0u8..8,
+        max_len in 1u32..8,
+    ) {
+        let family = Family::UncleTrailStubborn { k, cash_d };
+        let table = family.table(0.35, 0.5, max_len);
+        for fork in [Fork::Irrelevant, Fork::Relevant, Fork::Active] {
+            for d in 0..=7u8 {
+                for a in 0..=max_len {
+                    for h in 0..=max_len {
+                        prop_assert_eq!(
+                            table.decide(a, h, fork, d),
+                            family.action(a, h, fork, d),
+                            "{} at ({}, {}, {:?}, {})", family.id(), a, h, fork, d
+                        );
+                    }
+                }
+            }
         }
     }
 }

@@ -67,7 +67,9 @@ pub mod prelude {
     };
     pub use seleth_core::threshold::{profitability_threshold, ThresholdOptions};
     pub use seleth_core::{Analysis, AnalysisError, ModelParams, RevenueBreakdown, State};
-    pub use seleth_mdp::{MdpConfig, PolicyTable, RewardModel};
+    pub use seleth_mdp::{
+        Action, Fork, MdpConfig, PolicyTable, RewardModel, StateSpace, MATCH_D_CAP,
+    };
     pub use seleth_sim::delay::{DelayConfig, DelayReport, DelaySimulation, MinerStrategy};
     pub use seleth_sim::{multi, PoolStrategy, SimConfig, SimReport, Simulation};
     pub use seleth_zoo::{

@@ -106,6 +106,62 @@ fn ghost_and_longest_agree_on_selfish_trees() {
 }
 
 #[test]
+fn state_space_descriptors_flow_through_the_prelude() {
+    // The v2 policy API end to end through the facade: explicit state
+    // spaces, the generic constructor, distance-aware decisions, and the
+    // format-2 artifact round-trip.
+    let classic = StateSpace::classic(8);
+    assert_eq!(classic.dims(), vec![("fork", 3), ("a", 9), ("h", 9)]);
+    assert_eq!(classic.match_d_bound(), None);
+
+    let eth = StateSpace::ethereum(8);
+    assert_eq!(eth.match_d_bound(), Some(MATCH_D_CAP));
+    assert_eq!(eth.len(), 3 * 9 * 9 * usize::from(MATCH_D_CAP + 1));
+
+    // A rule that genuinely reads the fourth axis: concede only on rich
+    // published prefixes.
+    let table = PolicyTable::from_fn(
+        0.3,
+        0.5,
+        RewardModel::EthereumApprox,
+        Scenario::RegularRate,
+        eth,
+        0.3,
+        |_, _, _, d| {
+            if (1..=2).contains(&d) {
+                Action::Adopt
+            } else {
+                Action::Wait
+            }
+        },
+    );
+    assert_eq!(table.state_space(), eth);
+    assert_eq!(table.decide(1, 3, Fork::Relevant, 0), Action::Wait);
+    assert_eq!(table.decide(1, 3, Fork::Relevant, 2), Action::Adopt);
+    assert!(table.is_legal_everywhere());
+
+    let json = table.to_json();
+    assert!(json.contains("\"format\": 2") && json.contains("\"dims\""));
+    let restored = PolicyTable::from_json(&json).expect("v2 parse");
+    assert_eq!(table, restored);
+
+    // The facade also replays four-axis tables: the zoo's uncle-aware
+    // family through the delay simulator, end to end.
+    let family = Family::UncleTrailStubborn { k: 1, cash_d: 2 };
+    let config = DelayConfig::builder()
+        .shares(vec![0.3, 0.7])
+        .policy(0, family.table(0.3, 0.5, 12))
+        .tie_gamma(0.5)
+        .delay(0.0)
+        .blocks(2_000)
+        .seed(5)
+        .build()
+        .expect("valid delay config");
+    let report = DelaySimulation::new(config).run();
+    assert_eq!(report.report.block_count(), 2_000);
+}
+
+#[test]
 fn error_types_are_std_errors() {
     fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
     assert_error::<AnalysisError>();

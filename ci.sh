@@ -46,4 +46,11 @@ echo "==> strategy_zoo smoke gate (zoo tournament + multi-strategist matchups)"
 SELETH_RESULTS="$(mktemp -d)" SELETH_POLICIES=results/policies \
     cargo run --release -q -p seleth-zoo --bin strategy_zoo -- --smoke
 
+echo "==> chaos_study smoke gate (deterministic fault injection)"
+# Zero-delay anchor plus a handful of fault cells (loss, churn +
+# partition) under small budgets; gates the anchor against the
+# artifact's rho*. Output goes to a scratch dir.
+SELETH_RESULTS="$(mktemp -d)" SELETH_POLICIES=results/policies \
+    cargo run --release -q -p seleth-zoo --bin chaos_study -- --smoke
+
 echo "CI OK"

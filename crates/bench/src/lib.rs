@@ -25,6 +25,7 @@
 //! | `delay`       | Propagation-delay sensitivity of the simulator (all honest) |
 //! | `optimal_delay` | Optimal artifacts replayed *under delay*: ρ* degradation study (`delay_study.json`) |
 //! | `strategy_zoo` | Hand-written strategy families vs the optimum, incl. multi-strategist matchups (`zoo_study.json`; lives in `seleth-zoo`) |
+//! | `chaos_study` | Strategic replay under injected faults: loss × churn × partition grid (`chaos_study.json`; lives in `seleth-zoo`) |
 //! | `ablation_truncation` | Model-truncation bias ablation |
 //! | `bench_solver` | Perf trajectory of the numeric kernels (`BENCH_solver.json`) |
 //! | `bench_sim`   | Simulator throughput trajectory (`BENCH_sim.json`) |
@@ -34,6 +35,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Library code must degrade with typed errors, never a panic, on
+// untrusted input; invariant violations use `expect` with a message.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
 
 use std::fs;
 use std::io::Write as _;

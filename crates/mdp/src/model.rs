@@ -202,8 +202,23 @@ pub enum MdpError {
         /// The rejected value.
         gamma: f64,
     },
-    /// Value iteration failed to converge within its budget.
-    NotConverged,
+    /// `tolerance` / `rho_tolerance` must be positive finite numbers — a
+    /// zero or negative bisection tolerance would loop forever.
+    InvalidTolerance {
+        /// The rejected value.
+        tolerance: f64,
+    },
+    /// Value iteration or the Dinkelbach bisection exhausted its iteration
+    /// budget. Carries the ρ bracket reached and the sweeps spent, so a
+    /// caller can see how close the solve got before giving up.
+    NoConvergence {
+        /// Lower end of the ρ bracket when the solve gave up.
+        rho_lo: f64,
+        /// Upper end of the ρ bracket when the solve gave up.
+        rho_hi: f64,
+        /// Value-iteration sweeps spent across all candidates.
+        sweeps: usize,
+    },
 }
 
 impl fmt::Display for MdpError {
@@ -215,7 +230,18 @@ impl fmt::Display for MdpError {
             MdpError::InvalidGamma { gamma } => {
                 write!(f, "gamma must be in [0, 1], got {gamma}")
             }
-            MdpError::NotConverged => write!(f, "value iteration did not converge"),
+            MdpError::InvalidTolerance { tolerance } => {
+                write!(f, "tolerances must be positive finite, got {tolerance}")
+            }
+            MdpError::NoConvergence {
+                rho_lo,
+                rho_hi,
+                sweeps,
+            } => write!(
+                f,
+                "solver did not converge after {sweeps} sweeps \
+                 (rho bracketed in [{rho_lo}, {rho_hi}])"
+            ),
         }
     }
 }
@@ -535,6 +561,11 @@ impl MdpConfig {
         }
         if !self.gamma.is_finite() || !(0.0..=1.0).contains(&self.gamma) {
             return Err(MdpError::InvalidGamma { gamma: self.gamma });
+        }
+        for tolerance in [self.tolerance, self.rho_tolerance] {
+            if !tolerance.is_finite() || tolerance <= 0.0 {
+                return Err(MdpError::InvalidTolerance { tolerance });
+            }
         }
         Ok(())
     }

@@ -728,12 +728,15 @@ impl PolicyTable {
         let (space, actions) = if format == f64::from(FORMAT_V1) {
             let space = StateSpace::classic(max_len);
             let slice = space.side() * space.side();
-            let mut actions = Vec::with_capacity(space.len());
-            for (name, text) in [
+            // Validate every declared length before allocating anything
+            // sized by the artifact's own claims.
+            let tables = [
                 ("irrelevant", irrelevant),
                 ("relevant", relevant),
                 ("active", active),
-            ] {
+            ];
+            let mut texts = Vec::with_capacity(tables.len());
+            for (name, text) in tables {
                 let text = text.ok_or_else(|| missing(name))?;
                 if text.len() != slice {
                     return Err(PolicyError::Parse(format!(
@@ -741,6 +744,10 @@ impl PolicyTable {
                         text.len()
                     )));
                 }
+                texts.push(text);
+            }
+            let mut actions = Vec::with_capacity(space.len());
+            for text in &texts {
                 for byte in text.bytes() {
                     actions.push(decode_action(byte)?);
                 }

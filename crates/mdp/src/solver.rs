@@ -43,6 +43,13 @@ const PARALLEL_MIN_STATES: usize = 4096;
 /// cannot spawn per-state threads.
 const PARALLEL_GRAIN: usize = 1024;
 
+/// Hard cap on Dinkelbach bisection steps. 128 halvings of the initial
+/// `[0, 2]` bracket reach the limit of f64 resolution, so any positive
+/// `rho_tolerance` converges well before this; the cap turns a
+/// pathological tolerance into a typed [`MdpError::NoConvergence`] instead
+/// of an unbounded loop.
+const MAX_BISECTIONS: usize = 128;
+
 /// The dense state enumeration of one solve, shared (via [`Arc`]) between
 /// the solver's flat tables and the policies it returns. The hash index
 /// exists only for boundary lookups ([`Policy::action`]); the numeric
@@ -196,9 +203,15 @@ impl ExpandedMdp {
             debug_assert!(!legal.is_empty(), "state {s} has no legal action");
             for action in legal {
                 for o in config.outcomes(s, action) {
-                    let j = *space.index.get(&o.next).unwrap_or_else(|| {
-                        panic!("successor {} of {s} outside the state space", o.next)
-                    });
+                    debug_assert!(
+                        space.index.contains_key(&o.next),
+                        "successor {} of {s} outside the state space",
+                        o.next
+                    );
+                    let j = *space
+                        .index
+                        .get(&o.next)
+                        .expect("transition successors stay inside the truncated space");
                     let u = match config.scenario {
                         Scenario::RegularRate => o.regular,
                         Scenario::RegularPlusUncleRate => o.regular + o.uncles,
@@ -327,7 +340,13 @@ impl ExpandedMdp {
                 return Ok((0.5 * (max_d + min_d), sweep + 1));
             }
         }
-        Err(MdpError::NotConverged)
+        // The caller widens `rho_lo`/`rho_hi` to its live bisection
+        // bracket; here only the failing candidate is known.
+        Err(MdpError::NoConvergence {
+            rho_lo: rho,
+            rho_hi: rho,
+            sweeps: max_sweeps,
+        })
     }
 
     /// Extract the greedy policy for `rho` from the converged values
@@ -337,6 +356,20 @@ impl ExpandedMdp {
         let mut actions = vec![Action::Adopt; self.len()];
         Self::par_fill(&mut actions, threads, |i| self.best_q(i, rho, v).1);
         actions
+    }
+}
+
+/// Replace a [`MdpError::NoConvergence`] candidate-point bracket with the
+/// bisection's live `[lo, hi]` bracket and accumulated sweep count, so the
+/// diagnostics describe the whole solve rather than the failing candidate.
+fn widen_bracket(e: MdpError, lo: f64, hi: f64, done: usize) -> MdpError {
+    match e {
+        MdpError::NoConvergence { sweeps, .. } => MdpError::NoConvergence {
+            rho_lo: lo,
+            rho_hi: hi,
+            sweeps: done + sweeps,
+        },
+        other => other,
     }
 }
 
@@ -350,9 +383,11 @@ impl MdpConfig {
     ///
     /// # Errors
     ///
-    /// - [`MdpError::InvalidAlpha`] / [`MdpError::InvalidGamma`] for bad
-    ///   parameters;
-    /// - [`MdpError::NotConverged`] if value iteration stalls.
+    /// - [`MdpError::InvalidAlpha`] / [`MdpError::InvalidGamma`] /
+    ///   [`MdpError::InvalidTolerance`] for bad parameters;
+    /// - [`MdpError::NoConvergence`] if value iteration stalls or the
+    ///   bisection exhausts its step budget; the error carries the ρ
+    ///   bracket reached and the sweeps spent.
     pub fn solve(&self) -> Result<Solution, MdpError> {
         self.validate()?;
         let threads = self.resolved_threads();
@@ -362,10 +397,20 @@ impl MdpConfig {
         let mut lo = 0.0f64;
         let mut hi = 2.0f64;
         let mut iterations = 0usize;
+        let mut steps = 0usize;
         while hi - lo > self.rho_tolerance {
+            if steps >= MAX_BISECTIONS {
+                return Err(MdpError::NoConvergence {
+                    rho_lo: lo,
+                    rho_hi: hi,
+                    sweeps: iterations,
+                });
+            }
+            steps += 1;
             let mid = 0.5 * (lo + hi);
-            let (g, sweeps) =
-                expanded.optimal_average(mid, self.tolerance, threads, true, &mut ws)?;
+            let (g, sweeps) = expanded
+                .optimal_average(mid, self.tolerance, threads, true, &mut ws)
+                .map_err(|e| widen_bracket(e, lo, hi, iterations))?;
             iterations += sweeps;
             if g > 0.0 {
                 lo = mid;
@@ -377,8 +422,9 @@ impl MdpConfig {
         // One more full-tolerance evaluation at the solved revenue (cheap:
         // warm-started) so the reported policy is greedy at ρ*, not at the
         // last bisection midpoint.
-        let (_, sweeps) =
-            expanded.optimal_average(revenue, self.tolerance, threads, false, &mut ws)?;
+        let (_, sweeps) = expanded
+            .optimal_average(revenue, self.tolerance, threads, false, &mut ws)
+            .map_err(|e| widen_bracket(e, lo, hi, iterations))?;
         iterations += sweeps;
         let actions = expanded.greedy_policy(revenue, &ws.v, threads);
         Ok(Solution {
@@ -407,8 +453,17 @@ impl MdpConfig {
         let mut lo = 0.0f64;
         let mut hi = 2.0f64;
         let mut iterations = 0usize;
+        let mut steps = 0usize;
         let mut last: Option<Solution> = None;
         while hi - lo > self.rho_tolerance {
+            if steps >= MAX_BISECTIONS {
+                return Err(MdpError::NoConvergence {
+                    rho_lo: lo,
+                    rho_hi: hi,
+                    sweeps: iterations,
+                });
+            }
+            steps += 1;
             let mid = 0.5 * (lo + hi);
             // The legacy behaviour under benchmark: full re-expansion and a
             // cold-started value function per candidate.
@@ -581,6 +636,75 @@ mod tests {
         assert!(MdpConfig::new(0.3, 2.0, RewardModel::Bitcoin)
             .solve()
             .is_err());
+    }
+
+    #[test]
+    fn degenerate_tolerances_are_typed_errors() {
+        // A zero or negative bisection tolerance used to loop forever;
+        // now it is rejected up front.
+        for bad in [0.0, -1e-6, f64::NAN, f64::INFINITY] {
+            let mut config = MdpConfig::new(0.3, 0.5, RewardModel::Bitcoin).with_max_len(8);
+            config.rho_tolerance = bad;
+            assert!(
+                matches!(config.solve(), Err(MdpError::InvalidTolerance { .. })),
+                "rho_tolerance {bad} must be rejected"
+            );
+            let mut config = MdpConfig::new(0.3, 0.5, RewardModel::Bitcoin).with_max_len(8);
+            config.tolerance = bad;
+            assert!(matches!(
+                config.solve(),
+                Err(MdpError::InvalidTolerance { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn sub_resolution_tolerance_terminates() {
+        // A positive but sub-f64-resolution tolerance passes validation;
+        // the bisection must terminate regardless — either the bracket
+        // collapses to zero width at the floating-point floor (Ok), or the
+        // step cap fires with bracket diagnostics. Never an unbounded loop.
+        let mut config = MdpConfig::new(0.3, 0.5, RewardModel::Bitcoin).with_max_len(6);
+        config.rho_tolerance = 1e-300;
+        match config.solve() {
+            Ok(s) => assert!((0.0..1.0).contains(&s.revenue), "revenue {}", s.revenue),
+            Err(MdpError::NoConvergence { rho_lo, rho_hi, .. }) => {
+                assert!(rho_lo <= rho_hi, "bracket [{rho_lo}, {rho_hi}]")
+            }
+            Err(other) => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_convergence_carries_bracket_diagnostics() {
+        // The bisection widens a candidate-point failure to its live ρ
+        // bracket and accumulates the sweep count; other errors pass
+        // through untouched.
+        let e = widen_bracket(
+            MdpError::NoConvergence {
+                rho_lo: 0.4,
+                rho_hi: 0.4,
+                sweeps: 7,
+            },
+            0.25,
+            0.5,
+            100,
+        );
+        assert_eq!(
+            e,
+            MdpError::NoConvergence {
+                rho_lo: 0.25,
+                rho_hi: 0.5,
+                sweeps: 107
+            }
+        );
+        let msg = e.to_string();
+        assert!(
+            msg.contains("107") && msg.contains("0.25") && msg.contains("0.5"),
+            "diagnostics missing from {msg:?}"
+        );
+        let other = widen_bracket(MdpError::InvalidGamma { gamma: 2.0 }, 0.0, 1.0, 5);
+        assert_eq!(other, MdpError::InvalidGamma { gamma: 2.0 });
     }
 
     #[test]

@@ -42,6 +42,14 @@ pub enum SimError {
         /// Number of strategies supplied.
         strategies: usize,
     },
+    /// A fault plan is malformed: a rate outside `[0, 1]`, a degenerate
+    /// backoff or churn parameter, a malformed or overlapping window, or
+    /// a miner index / partition group vector that disagrees with the
+    /// share vector (see [`crate::faults::FaultPlan`]).
+    InvalidFaultPlan {
+        /// What was wrong with the plan.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -68,6 +76,9 @@ impl fmt::Display for SimError {
                 f,
                 "expected one strategy per miner ({miners} miners, {strategies} strategies)"
             ),
+            SimError::InvalidFaultPlan { reason } => {
+                write!(f, "invalid fault plan: {reason}")
+            }
         }
     }
 }

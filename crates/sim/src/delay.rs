@@ -101,6 +101,7 @@ use seleth_chain::{BlockId, BlockTree, MinerId, RewardSchedule};
 use seleth_mdp::{Action, Fork, PolicyTable, StateSpace};
 
 use crate::config::SimError;
+use crate::faults::{CrashTimeline, FaultPlan};
 
 /// The behaviour of one miner in the delay simulator.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -133,6 +134,7 @@ pub struct DelayConfig {
     blocks: u64,
     seed: u64,
     schedule: RewardSchedule,
+    faults: FaultPlan,
 }
 
 /// Builder for [`DelayConfig`].
@@ -146,6 +148,7 @@ pub struct DelayConfigBuilder {
     blocks: u64,
     seed: u64,
     schedule: RewardSchedule,
+    faults: FaultPlan,
 }
 
 impl Default for DelayConfigBuilder {
@@ -159,6 +162,7 @@ impl Default for DelayConfigBuilder {
             blocks: 100_000,
             seed: 0,
             schedule: RewardSchedule::ethereum(),
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -231,6 +235,14 @@ impl DelayConfigBuilder {
         self
     }
 
+    /// Install a fault plan ([`crate::faults`]). The default,
+    /// [`FaultPlan::none`], injects nothing and keeps the run
+    /// bit-identical to the fault-unaware engine.
+    pub fn faults(&mut self, faults: FaultPlan) -> &mut Self {
+        self.faults = faults;
+        self
+    }
+
     /// Validate and build.
     ///
     /// # Errors
@@ -243,7 +255,8 @@ impl DelayConfigBuilder {
     /// disagrees with the number of miners, [`SimError::InvalidGamma`] for
     /// a tie-breaking parameter outside `[0, 1]`, and
     /// [`SimError::InvalidAlpha`] if the delay/interval are not positive
-    /// finite numbers.
+    /// finite numbers, and [`SimError::InvalidFaultPlan`] when the fault
+    /// plan is malformed or disagrees with the miner count.
     pub fn build(&self) -> Result<DelayConfig, SimError> {
         if self.shares.len() < 2 {
             return Err(SimError::NoHonestMiners);
@@ -277,6 +290,7 @@ impl DelayConfigBuilder {
         if !timing_ok {
             return Err(SimError::InvalidAlpha { alpha: self.delay });
         }
+        self.faults.validate_for(self.shares.len())?;
         Ok(DelayConfig {
             shares: self.shares.clone(),
             strategies,
@@ -286,6 +300,7 @@ impl DelayConfigBuilder {
             blocks: self.blocks,
             seed: self.seed,
             schedule: self.schedule.clone(),
+            faults: self.faults.clone(),
         })
     }
 }
@@ -336,6 +351,11 @@ impl DelayConfig {
         &self.schedule
     }
 
+    /// The fault plan in force ([`FaultPlan::none`] by default).
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+
     /// A copy with a different seed (for multi-run averaging; shared
     /// policy tables are never copied).
     pub fn with_seed(&self, seed: u64) -> Self {
@@ -369,10 +389,87 @@ struct Strategist {
     /// engine: fixed at the heard height of the epoch's first match,
     /// cleared when the epoch settles. Four-axis tables consult it.
     match_d: u8,
-    /// Released blocks by other miners, not yet heard; a block `b` is
-    /// heard at `pub_time(b) + delay`. Release times never decrease, so
-    /// the queue is sorted by hear time.
-    inbox: VecDeque<BlockId>,
+    /// Released blocks by other miners, not yet heard; an entry is heard
+    /// at `pub_time + delay + extra`. Kept sorted by that due time
+    /// (without faults every `extra` is zero and release times never
+    /// decrease, so insertion degenerates to a plain `push_back`).
+    inbox: VecDeque<Pending>,
+    /// `true` while the miner is down and has not yet resynchronized
+    /// (set by the crash gate, cleared by the forced-adopt resync on the
+    /// first event after recovery).
+    crashed: bool,
+}
+
+/// One queued delivery of a released block to a receiver — a public view
+/// or a strategist's inbox — due at `pub_time(block) + delay + extra`
+/// (strategists) or visible at `pub_time(block) + extra + delay` past
+/// release (views; same ordering).
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    block: BlockId,
+    /// The fault layer's surcharge on top of the base propagation delay:
+    /// accumulated reorder jitter and re-gossip backoff. Exactly `0.0` on
+    /// the zero-fault path — and `x + 0.0` is bitwise `x` for the finite
+    /// release timestamps, which is what keeps zero-fault runs
+    /// byte-identical to the fault-unaware engine.
+    extra: f64,
+    /// Delivery attempts so far; keys the per-attempt fault coins.
+    attempt: u32,
+    /// An inert duplicate copy: skips the fault pipeline, exercising only
+    /// the receiver's idempotence.
+    dup: bool,
+}
+
+impl Pending {
+    fn first(block: BlockId, extra: f64) -> Self {
+        Pending {
+            block,
+            extra,
+            attempt: 0,
+            dup: false,
+        }
+    }
+}
+
+/// One public frontier. View 0 is the shared network; under a fault plan
+/// with partitions there is one additional view per partition group id,
+/// and honest miners read the view of their current group. Every view
+/// receives every delivery at all times (so dormant views track the
+/// shared frontier for free); a delivery into view `v` stalls only while
+/// an *active* partition uses group `v` and assigns the producer
+/// elsewhere — it then retries with backoff until the partition heals.
+#[derive(Debug)]
+struct PublicView {
+    /// Best (highest, earliest-released) block fully propagated to this
+    /// view.
+    best: BlockId,
+    /// A competing fully-propagated tip at `best`'s height — a live race
+    /// honest miners must split (see [`DelaySimulation::promote_public`]).
+    race: Option<BlockId>,
+    /// Deliveries still inside the propagation pipeline, in due-time
+    /// order.
+    pending: VecDeque<Pending>,
+}
+
+/// Receiver-id namespace of the public views inside the fault plan's hash
+/// streams; strategist receivers use their (small) miner index directly.
+fn view_receiver(v: usize) -> u64 {
+    (1u64 << 32) + v as u64
+}
+
+/// Insert `p` into a due-time-ordered queue. Duplicates and retries can
+/// land out of order; the zero-fault path (every `extra` zero, release
+/// times monotone) always takes the `push_back` branch, preserving the
+/// fault-unaware engine's queue order exactly.
+fn enqueue(queue: &mut VecDeque<Pending>, pub_time: &[f64], p: Pending) {
+    let due = pub_time[p.block.index()] + p.extra;
+    match queue.back() {
+        Some(b) if pub_time[b.block.index()] + b.extra > due => {
+            let at = queue.partition_point(|e| pub_time[e.block.index()] + e.extra <= due);
+            queue.insert(at, p);
+        }
+        _ => queue.push_back(p),
+    }
 }
 
 /// The delay-study simulator.
@@ -384,17 +481,18 @@ pub struct DelaySimulation {
     /// Release time per block (`f64::INFINITY` while withheld); visible to
     /// non-producers at `+delay`.
     pub_time: Vec<f64>,
-    /// Best (highest, earliest-released) block among those visible to all.
-    best_public: BlockId,
-    /// A competing fully-propagated tip at `best_public`'s height — a
-    /// live race honest miners must split: a strategic tip tying an
-    /// honest one (split by `tie_gamma`), or two *rival* strategists'
-    /// tips from different miners (split evenly; see
-    /// [`DelaySimulation::promote_public`]).
-    race: Option<BlockId>,
-    /// Released blocks still inside someone's delay window, oldest first.
-    recent: VecDeque<BlockId>,
+    /// Public frontier views (always at least the shared view 0; one per
+    /// partition group under a partitioned fault plan).
+    views: Vec<PublicView>,
     strategists: Vec<Strategist>,
+    /// The fault plan's crash schedule (inert without crash faults).
+    crashes: CrashTimeline,
+    /// Fast-path flags hoisted from the plan: with all three false every
+    /// fault branch is skipped and the run is bit-identical to the
+    /// fault-unaware engine.
+    link_faults: bool,
+    crash_faults: bool,
+    partition_faults: bool,
     now: f64,
 }
 
@@ -430,18 +528,35 @@ impl DelaySimulation {
                     fork: Fork::Irrelevant,
                     match_d: 0,
                     inbox: VecDeque::new(),
+                    crashed: false,
                 }),
             })
             .collect();
+        let plan = config.faults();
+        let views = (0..plan.view_count())
+            .map(|_| PublicView {
+                best: genesis,
+                race: None,
+                pending: VecDeque::new(),
+            })
+            .collect();
+        let crashes = CrashTimeline::new(plan, config.shares().len());
+        let (link_faults, crash_faults, partition_faults) = (
+            plan.has_link_faults(),
+            plan.has_crashes(),
+            plan.has_partitions(),
+        );
         DelaySimulation {
             config,
             rng,
             tree,
             pub_time: vec![f64::NEG_INFINITY], // genesis: always visible
-            best_public: genesis,
-            race: None,
-            recent: VecDeque::new(),
+            views,
             strategists,
+            crashes,
+            link_faults,
+            crash_faults,
+            partition_faults,
             now: 0.0,
         }
     }
@@ -491,12 +606,25 @@ impl DelaySimulation {
         // mining event (their decisions — and therefore their release
         // timestamps — happen at hear time, not at the next block).
         self.deliver_to_strategists();
-        // Promote fully propagated blocks into the shared public frontier.
+        // Promote fully propagated blocks into the public frontier views.
         self.promote_public();
 
         match self.strategists.iter().position(|s| s.miner == miner) {
-            Some(i) => self.strategic_mines(i),
-            None => self.honest_mines(miner),
+            Some(i) => {
+                // A crashed miner's hash power drops out of the Poisson
+                // race: the event slot produces no block (thinning — the
+                // arrival process stays exact for the remaining power).
+                if self.strategist_down(i, self.now) {
+                    return;
+                }
+                self.strategic_mines(i)
+            }
+            None => {
+                if self.crash_faults && self.crashes.is_down(miner.0 as usize, self.now) {
+                    return;
+                }
+                self.honest_mines(miner)
+            }
         }
     }
 
@@ -521,17 +649,40 @@ impl DelaySimulation {
             .is_some_and(MinerStrategy::is_strategic)
     }
 
-    /// Release a withheld block at time `t`: it enters the propagation
-    /// pipeline and every other strategic miner's inbox.
+    /// Release a withheld block at time `t`: it enters every public
+    /// view's propagation pipeline and every other strategic miner's
+    /// inbox, each link drawing its own reorder jitter from the fault
+    /// plan (exactly `0.0` without link faults).
     fn release(&mut self, id: BlockId, t: f64, producer: MinerId) {
         if self.pub_time[id.index()] < f64::INFINITY {
             return; // already out (e.g. a matched prefix being overridden)
         }
         self.pub_time[id.index()] = t;
-        self.recent.push_back(id);
+        let block = id.index() as u64;
+        for v in 0..self.views.len() {
+            let extra = if self.link_faults {
+                self.config
+                    .faults
+                    .delivery_jitter(block, view_receiver(v), 0)
+            } else {
+                0.0
+            };
+            enqueue(
+                &mut self.views[v].pending,
+                &self.pub_time,
+                Pending::first(id, extra),
+            );
+        }
+        let link_faults = self.link_faults;
+        let plan = &self.config.faults;
         for s in &mut self.strategists {
             if s.miner != producer {
-                s.inbox.push_back(id);
+                let extra = if link_faults {
+                    plan.delivery_jitter(block, s.miner.0 as u64, 0)
+                } else {
+                    0.0
+                };
+                enqueue(&mut s.inbox, &self.pub_time, Pending::first(id, extra));
             }
         }
     }
@@ -544,24 +695,70 @@ impl DelaySimulation {
     /// neither attacker controls the other's propagation).
     fn promote_public(&mut self) {
         let horizon = self.now - self.config.delay;
-        while let Some(&front) = self.recent.front() {
-            if self.pub_time[front.index()] > horizon {
+        for v in 0..self.views.len() {
+            self.promote_view(v, horizon);
+        }
+    }
+
+    /// Drain view `v`'s pipeline up to the propagation horizon, running
+    /// each non-duplicate delivery through the fault pipeline first: a
+    /// partition stall or a lost gossip re-enqueues the entry with capped
+    /// exponential backoff (plus fresh jitter); a duplication coin adds an
+    /// inert second copy at the same due time.
+    fn promote_view(&mut self, v: usize, horizon: f64) {
+        while let Some(&p) = self.views[v].pending.front() {
+            if self.pub_time[p.block.index()] + p.extra > horizon {
                 break;
             }
-            self.recent.pop_front();
+            self.views[v].pending.pop_front();
+            let front = p.block;
+            if !p.dup && (self.link_faults || self.partition_faults) {
+                let plan = &self.config.faults;
+                let block = front.index() as u64;
+                let receiver = view_receiver(v);
+                // The view's group hears the block when it finishes
+                // propagating; a partition active *then* that uses this
+                // group but assigns the producer elsewhere stalls it.
+                let arrival = self.pub_time[front.index()] + self.config.delay + p.extra;
+                let producer = self.tree.block(front).miner().0 as usize;
+                let stalled = self.partition_faults
+                    && plan
+                        .active_partition(arrival)
+                        .is_some_and(|part| part.uses_group(v) && part.groups[producer] != v);
+                if stalled || (self.link_faults && plan.drops(block, receiver, p.attempt)) {
+                    let retry = Pending {
+                        block: front,
+                        extra: p.extra
+                            + plan.retry_backoff(p.attempt)
+                            + plan.delivery_jitter(block, receiver, p.attempt + 1),
+                        attempt: p.attempt + 1,
+                        dup: false,
+                    };
+                    enqueue(&mut self.views[v].pending, &self.pub_time, retry);
+                    continue;
+                }
+                if self.link_faults && plan.duplicates(block, receiver, p.attempt) {
+                    enqueue(
+                        &mut self.views[v].pending,
+                        &self.pub_time,
+                        Pending { dup: true, ..p },
+                    );
+                }
+            }
             let h = self.tree.height(front);
-            let best_h = self.tree.height(self.best_public);
+            let best = self.views[v].best;
+            let best_h = self.tree.height(best);
             if h > best_h {
-                self.best_public = front;
-                self.race = None;
-            } else if h == best_h && self.race.is_none() {
+                self.views[v].best = front;
+                self.views[v].race = None;
+            } else if h == best_h && front != best && self.views[v].race.is_none() {
                 let front_strategic = self.is_strategic_block(front);
-                let best_strategic = self.is_strategic_block(self.best_public);
+                let best_strategic = self.is_strategic_block(best);
                 let rivals = front_strategic
                     && best_strategic
-                    && self.tree.block(front).miner() != self.tree.block(self.best_public).miner();
+                    && self.tree.block(front).miner() != self.tree.block(best).miner();
                 if front_strategic != best_strategic || rivals {
-                    self.race = Some(front);
+                    self.views[v].race = Some(front);
                 }
             }
         }
@@ -588,8 +785,8 @@ impl DelaySimulation {
             let mut earliest: Option<f64> = None;
             tied.clear();
             for (i, s) in self.strategists.iter().enumerate() {
-                if let Some(&b) = s.inbox.front() {
-                    let t = self.pub_time[b.index()] + self.config.delay;
+                if let Some(&p) = s.inbox.front() {
+                    let t = self.pub_time[p.block.index()] + self.config.delay + p.extra;
                     if t > self.now {
                         continue;
                     }
@@ -610,9 +807,91 @@ impl DelaySimulation {
             } else {
                 tied[0]
             };
-            let block = self.strategists[chosen].inbox.pop_front().expect("peeked");
-            self.hear(chosen, block, t);
+            let p = self.strategists[chosen].inbox.pop_front().expect("peeked");
+            // A down receiver simply misses the gossip; re-gossip retries
+            // (below, for fault plans with link faults) or the forced-adopt
+            // resync on recovery pick the chain back up.
+            if self.crash_faults && self.strategist_down(chosen, t) {
+                continue;
+            }
+            if !p.dup && (self.link_faults || self.partition_faults) {
+                let plan = &self.config.faults;
+                let block = p.block.index() as u64;
+                let receiver = self.strategists[chosen].miner.0 as u64;
+                let producer = self.tree.block(p.block).miner().0 as usize;
+                let stalled =
+                    self.partition_faults && plan.cross_blocked(producer, receiver as usize, t);
+                if stalled || (self.link_faults && plan.drops(block, receiver, p.attempt)) {
+                    let retry = Pending {
+                        block: p.block,
+                        extra: p.extra
+                            + plan.retry_backoff(p.attempt)
+                            + plan.delivery_jitter(block, receiver, p.attempt + 1),
+                        attempt: p.attempt + 1,
+                        dup: false,
+                    };
+                    enqueue(&mut self.strategists[chosen].inbox, &self.pub_time, retry);
+                    continue;
+                }
+                if self.link_faults && plan.duplicates(block, receiver, p.attempt) {
+                    enqueue(
+                        &mut self.strategists[chosen].inbox,
+                        &self.pub_time,
+                        Pending { dup: true, ..p },
+                    );
+                }
+            }
+            self.hear(chosen, p.block, t);
         }
+    }
+
+    /// Crash gate for strategist `i` at event time `t`: `true` while the
+    /// miner is down (the event is lost). The first gated event marks the
+    /// miner crashed; the first event after recovery resynchronizes it via
+    /// the forced-adopt path before normal processing resumes.
+    fn strategist_down(&mut self, i: usize, t: f64) -> bool {
+        if !self.crash_faults {
+            return false;
+        }
+        let m = self.strategists[i].miner.0 as usize;
+        if self.crashes.is_down(m, t) {
+            self.strategists[i].crashed = true;
+            return true;
+        }
+        if self.strategists[i].crashed {
+            self.resync_strategist(i, t);
+            self.strategists[i].crashed = false;
+        }
+        false
+    }
+
+    /// A recovering strategist rejoins the network the way a restarted
+    /// node does: it syncs to the public tip its group currently sees and
+    /// concedes whatever private fork it held before the crash — the
+    /// forced-adopt path, identical to losing an epoch.
+    fn resync_strategist(&mut self, i: usize, t: f64) {
+        let g = if self.partition_faults {
+            let m = self.strategists[i].miner.0 as usize;
+            self.config.faults.group_of(m, t)
+        } else {
+            0
+        };
+        let tip = self.views[g].best;
+        let Self {
+            tree, strategists, ..
+        } = self;
+        let s = &mut strategists[i];
+        if tree.height(tip) > tree.height(s.fork_base) {
+            s.fork_base = tip;
+        }
+        if tree.height(tip) > tree.height(s.best_heard) {
+            s.best_heard = tip;
+        }
+        s.private.clear();
+        s.published_count = 0;
+        s.h = 0;
+        s.fork = Fork::Irrelevant;
+        s.match_d = 0;
     }
 
     /// Strategic miner `i` hears `block` at time `t`: update its private
@@ -769,25 +1048,33 @@ impl DelaySimulation {
     /// An honest miner mines on the best tip it can see and releases the
     /// block immediately.
     fn honest_mines(&mut self, miner: MinerId) {
-        // The shared public frontier, with a live race: strategic-vs-honest
-        // ties split by tie_gamma, rival-strategist ties split evenly...
-        let mut tip = self.best_public;
-        if let Some(contender) = self.race {
-            let incumbent_strategic = self.is_strategic_block(self.best_public);
+        // The miner's public frontier (its partition group's view; the
+        // shared view 0 outside partitions), with a live race:
+        // strategic-vs-honest ties split by tie_gamma, rival-strategist
+        // ties split evenly...
+        let g = if self.partition_faults {
+            self.config.faults.group_of(miner.0 as usize, self.now)
+        } else {
+            0
+        };
+        let view = &self.views[g];
+        let mut tip = view.best;
+        if let Some(contender) = view.race {
+            let incumbent_strategic = self.is_strategic_block(view.best);
             tip = if incumbent_strategic && self.is_strategic_block(contender) {
-                // Two different strategists tying (promote_public only
+                // Two different strategists tying (promote_view only
                 // records same-side races across distinct miners): γ is
                 // defined against an honest tip, so neither side earns it.
                 if self.rng.gen_bool(0.5) {
-                    self.best_public
+                    view.best
                 } else {
                     contender
                 }
             } else {
                 let (strategic, honest) = if incumbent_strategic {
-                    (self.best_public, contender)
+                    (view.best, contender)
                 } else {
-                    (contender, self.best_public)
+                    (contender, view.best)
                 };
                 if self.rng.gen_bool(self.config.tie_gamma) {
                     strategic
@@ -798,7 +1085,8 @@ impl DelaySimulation {
         }
         // ...plus any block the miner produced itself that is still
         // propagating.
-        for &b in &self.recent {
+        for p in &self.views[g].pending {
+            let b = p.block;
             if self.tree.block(b).miner() == miner && self.tree.height(b) > self.tree.height(tip) {
                 tip = b;
             }
@@ -852,8 +1140,14 @@ impl DelaySimulation {
             }
             for &u in self.tree.children(a) {
                 let released = self.pub_time[u.index()] < f64::INFINITY;
-                let visible = self.pub_time[u.index()] <= horizon
-                    || (released && self.tree.block(u).miner() == miner);
+                let propagated = self.pub_time[u.index()] <= horizon
+                    && (!self.partition_faults
+                        || !self.config.faults.cross_blocked(
+                            self.tree.block(u).miner().0 as usize,
+                            miner.0 as usize,
+                            self.now,
+                        ));
+                let visible = propagated || (released && self.tree.block(u).miner() == miner);
                 if on_chain.contains(&u) || referenced.contains(&u) || !visible {
                     continue;
                 }
@@ -1347,6 +1641,287 @@ mod tests {
             "attacker and table-honest rival both earn: {} / {}",
             r.revenue_share(0),
             r.revenue_share(1)
+        );
+    }
+
+    #[test]
+    fn zero_hash_power_miner_is_inert() {
+        // A 0-share miner never wins a slot: the run completes, the miner
+        // earns nothing, and the distribution still validates.
+        let config = DelayConfig::builder()
+            .shares(vec![0.5, 0.5, 0.0])
+            .delay(4.0)
+            .blocks(10_000)
+            .seed(3)
+            .build()
+            .unwrap();
+        let r = DelaySimulation::new(config).run();
+        assert_eq!(r.report.block_count(), 10_000);
+        assert_eq!(r.miner(2).total(), 0.0);
+        assert_eq!(r.revenue_share(2), 0.0);
+    }
+
+    #[test]
+    fn inert_fault_settings_stay_bit_identical() {
+        // A plan that only reconfigures backoff (no loss, churn or
+        // partitions) must not perturb a single bit of the run — the
+        // fault pipeline is fully gated behind the activity flags.
+        let base = strategic_run(
+            sm1_table(0.35, 0.5, 12),
+            0.35,
+            0.5,
+            2.0,
+            RewardSchedule::ethereum(),
+            15_000,
+            19,
+        );
+        let plan = FaultPlan::builder().backoff(2.5, 40.0).build().unwrap();
+        let config = DelayConfig::builder()
+            .shares(vec![0.35, 0.65])
+            .policy(0, sm1_table(0.35, 0.5, 12))
+            .tie_gamma(0.5)
+            .delay(2.0)
+            .blocks(15_000)
+            .seed(19)
+            .schedule(RewardSchedule::ethereum())
+            .faults(plan)
+            .build()
+            .unwrap();
+        let faulty = DelaySimulation::new(config).run();
+        assert_eq!(
+            base.report.total_reward().to_bits(),
+            faulty.report.total_reward().to_bits()
+        );
+        assert_eq!(
+            base.miner(0).total().to_bits(),
+            faulty.miner(0).total().to_bits()
+        );
+    }
+
+    #[test]
+    fn duplicate_delivery_of_every_release_is_idempotent() {
+        // duplication = 1.0 re-delivers every block once to every
+        // receiver. With a single strategist no hear-time ties can arise,
+        // so the extra copies must be absorbed by the height guards with
+        // zero effect on the outcome.
+        let base = strategic_run(
+            sm1_table(0.35, 0.5, 12),
+            0.35,
+            0.5,
+            2.0,
+            RewardSchedule::bitcoin(),
+            12_000,
+            29,
+        );
+        let plan = FaultPlan::builder().duplication(1.0).build().unwrap();
+        let config = DelayConfig::builder()
+            .shares(vec![0.35, 0.65])
+            .policy(0, sm1_table(0.35, 0.5, 12))
+            .tie_gamma(0.5)
+            .delay(2.0)
+            .blocks(12_000)
+            .seed(29)
+            .schedule(RewardSchedule::bitcoin())
+            .faults(plan)
+            .build()
+            .unwrap();
+        let doubled = DelaySimulation::new(config).run();
+        assert_eq!(doubled.report.block_count(), 12_000);
+        assert_eq!(
+            base.report.total_reward().to_bits(),
+            doubled.report.total_reward().to_bits(),
+            "inert duplicates must not change the run"
+        );
+        assert_eq!(
+            base.miner(0).total().to_bits(),
+            doubled.miner(0).total().to_bits()
+        );
+    }
+
+    #[test]
+    fn lossy_jittery_network_completes_and_conserves() {
+        let plan = FaultPlan::builder()
+            .loss(0.3)
+            .duplication(0.2)
+            .jitter(3.0)
+            .seed(5)
+            .build()
+            .unwrap();
+        let config = DelayConfig::builder()
+            .shares(vec![0.3, 0.3, 0.4])
+            .policy(0, sm1_table(0.3, 0.5, 12))
+            .tie_gamma(0.5)
+            .delay(3.0)
+            .blocks(15_000)
+            .seed(7)
+            .schedule(RewardSchedule::ethereum())
+            .faults(plan)
+            .build()
+            .unwrap();
+        let r = DelaySimulation::new(config).run();
+        assert_eq!(
+            r.report.block_count(),
+            15_000,
+            "loss delays, never destroys"
+        );
+        let total: f64 = (0..3).map(|i| r.revenue_share(i)).sum();
+        assert!((total - 1.0).abs() < 1e-9, "shares sum to {total}");
+    }
+
+    #[test]
+    fn all_strategists_crashed_window_recovers() {
+        // Both strategists are down for the first half of the run: honest
+        // mining proceeds alone (their slots thin out of the Poisson
+        // race), and on recovery they resync via the forced-adopt path
+        // and resume attacking. Deterministic per seed throughout.
+        let mk = |seed| {
+            let plan = FaultPlan::builder()
+                .downtime(0, 0.0, 70_000.0)
+                .downtime(1, 0.0, 70_000.0)
+                .build()
+                .unwrap();
+            let config = DelayConfig::builder()
+                .shares(vec![0.3, 0.3, 0.4])
+                .policy(0, sm1_table(0.3, 0.5, 12))
+                .policy(1, sm1_table(0.3, 0.5, 12))
+                .tie_gamma(0.5)
+                .delay(2.0)
+                .blocks(10_000)
+                .seed(seed)
+                .schedule(RewardSchedule::bitcoin())
+                .faults(plan)
+                .build()
+                .unwrap();
+            DelaySimulation::new(config).run()
+        };
+        let r = mk(11);
+        // Thinning: crashed slots mine nothing, so the tree is smaller
+        // than the budget but everything in it is accounted.
+        assert!(r.report.block_count() < 10_000);
+        assert!(r.report.block_count() > 4_000);
+        let total: f64 = (0..3).map(|i| r.revenue_share(i)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // The strategists still earn after recovery, but far below the
+        // all-up baseline.
+        assert!(r.revenue_share(0) > 0.0 && r.revenue_share(0) < 0.3);
+        let r2 = mk(11);
+        assert_eq!(r.report.total_reward(), r2.report.total_reward());
+        assert_eq!(r.miner(0).total(), r2.miner(0).total());
+    }
+
+    #[test]
+    fn crashed_forever_miner_mines_nothing() {
+        let plan = FaultPlan::builder()
+            .downtime(0, 0.0, f64::INFINITY)
+            .build()
+            .unwrap();
+        let config = DelayConfig::builder()
+            .shares(vec![0.4, 0.6])
+            .delay(4.0)
+            .blocks(8_000)
+            .seed(13)
+            .faults(plan)
+            .build()
+            .unwrap();
+        let r = DelaySimulation::new(config).run();
+        assert_eq!(r.miner(0).total(), 0.0);
+        let m = r.miner(0);
+        assert_eq!(m.regular_blocks + m.uncle_blocks + m.stale_blocks, 0);
+        assert!(r.report.block_count() < 8_000, "its slots thin out");
+    }
+
+    #[test]
+    fn partition_that_never_heals_diverges() {
+        // Two honest camps split for good halfway through the run: each
+        // side keeps extending its own view, cross-deliveries stall
+        // forever, and the closing fork choice picks one side — the other
+        // side's blocks settle as orphans. Wide backoff keeps the eternal
+        // retries cheap.
+        let plan = FaultPlan::builder()
+            .partition(26_000.0, f64::INFINITY, vec![0, 0, 1, 1])
+            .backoff(13.0, 3_328.0)
+            .build()
+            .unwrap();
+        let config = DelayConfig::builder()
+            .shares(vec![0.3, 0.2, 0.3, 0.2])
+            .delay(4.0)
+            .blocks(4_000)
+            .seed(15)
+            .schedule(RewardSchedule::bitcoin())
+            .faults(plan)
+            .build()
+            .unwrap();
+        let r = DelaySimulation::new(config).run();
+        assert_eq!(r.report.block_count(), 4_000);
+        // Both camps mine roughly half the run apiece after the split, so
+        // a large fraction of all blocks must end up off-chain.
+        assert!(
+            r.orphan_rate() > 0.2,
+            "a permanent split must orphan a camp: {}",
+            r.orphan_rate()
+        );
+        let total: f64 = (0..4).map(|i| r.revenue_share(i)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn healing_partition_reconverges() {
+        // A timed split heals: the stalled cross-deliveries drain through
+        // their backoff retries and both sides converge back onto one
+        // chain — the orphan rate stays near the no-fault level instead
+        // of the permanent-split level.
+        let plan = FaultPlan::builder()
+            .partition(13_000.0, 16_000.0, vec![0, 0, 1, 1])
+            .build()
+            .unwrap();
+        let config = DelayConfig::builder()
+            .shares(vec![0.3, 0.2, 0.3, 0.2])
+            .delay(4.0)
+            .blocks(4_000)
+            .seed(15)
+            .schedule(RewardSchedule::bitcoin())
+            .faults(plan)
+            .build()
+            .unwrap();
+        let r = DelaySimulation::new(config).run();
+        assert_eq!(r.report.block_count(), 4_000);
+        assert!(
+            r.orphan_rate() < 0.2,
+            "a healed split reconverges: {}",
+            r.orphan_rate()
+        );
+    }
+
+    #[test]
+    fn fault_runs_are_deterministic_and_fault_seed_sensitive() {
+        let mk = |fault_seed| {
+            let plan = FaultPlan::builder()
+                .loss(0.2)
+                .jitter(2.0)
+                .churn(2_000.0, 300.0)
+                .seed(fault_seed)
+                .build()
+                .unwrap();
+            let config = DelayConfig::builder()
+                .shares(vec![0.35, 0.65])
+                .policy(0, sm1_table(0.35, 0.5, 12))
+                .tie_gamma(0.5)
+                .delay(2.0)
+                .blocks(10_000)
+                .seed(23)
+                .schedule(RewardSchedule::bitcoin())
+                .faults(plan)
+                .build()
+                .unwrap();
+            DelaySimulation::new(config).run()
+        };
+        let (a, b, c) = (mk(1), mk(1), mk(2));
+        assert_eq!(a.report.total_reward(), b.report.total_reward());
+        assert_eq!(a.miner(0).total(), b.miner(0).total());
+        assert_ne!(
+            a.report.total_reward(),
+            c.report.total_reward(),
+            "the fault seed is a real axis of the schedule"
         );
     }
 

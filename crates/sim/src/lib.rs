@@ -49,14 +49,19 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Library code must degrade with typed errors, never a panic, on
+// untrusted input; invariant violations use `expect` with a message.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
 
 mod config;
 pub mod delay;
 mod engine;
+pub mod faults;
 pub mod multi;
 pub mod pools;
 mod stats;
 
 pub use config::{PoolStrategy, SimConfig, SimConfigBuilder, SimError};
 pub use engine::Simulation;
+pub use faults::{FaultPlan, FaultPlanBuilder};
 pub use stats::SimReport;

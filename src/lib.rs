@@ -51,6 +51,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Library code must degrade with typed errors, never a panic, on
+// untrusted input; invariant violations use `expect` with a message.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
 
 pub use seleth_chain as chain;
 pub use seleth_core as core;
@@ -71,7 +74,9 @@ pub mod prelude {
         Action, Fork, MdpConfig, PolicyTable, RewardModel, StateSpace, MATCH_D_CAP,
     };
     pub use seleth_sim::delay::{DelayConfig, DelayReport, DelaySimulation, MinerStrategy};
-    pub use seleth_sim::{multi, PoolStrategy, SimConfig, SimReport, Simulation};
+    pub use seleth_sim::{
+        multi, FaultPlan, FaultPlanBuilder, PoolStrategy, SimConfig, SimReport, Simulation,
+    };
     pub use seleth_zoo::{
         sm1_closed_form, Cell, Family, StrategyRegistry, Tournament, TournamentConfig,
     };

@@ -49,8 +49,21 @@ SELETH_RESULTS="$(mktemp -d)" SELETH_POLICIES=results/policies \
 echo "==> chaos_study smoke gate (deterministic fault injection)"
 # Zero-delay anchor plus a handful of fault cells (loss, churn +
 # partition) under small budgets; gates the anchor against the
-# artifact's rho*. Output goes to a scratch dir.
-SELETH_RESULTS="$(mktemp -d)" SELETH_POLICIES=results/policies \
-    cargo run --release -q -p seleth-zoo --bin chaos_study -- --smoke
+# artifact's rho*. Output goes to a scratch dir, which the perf_report
+# gate below then renders: a fresh study JSON (with trace) must flow
+# through the profiler end to end.
+CHAOS_SCRATCH="$(mktemp -d)"
+SELETH_RESULTS="$CHAOS_SCRATCH" SELETH_POLICIES=results/policies \
+    cargo run --release -q -p seleth-zoo --bin chaos_study -- --smoke \
+    --trace "$CHAOS_SCRATCH/chaos_trace.jsonl"
+
+echo "==> perf_report smoke gate (telemetry renders end to end)"
+# The fresh smoke output and every committed study JSON must render;
+# the trace file must be non-empty JSON lines.
+cargo run --release -q -p seleth-bench --bin perf_report -- \
+    "$CHAOS_SCRATCH/chaos_study_smoke.json" > /dev/null
+test -s "$CHAOS_SCRATCH/chaos_trace.jsonl"
+SELETH_RESULTS=results \
+    cargo run --release -q -p seleth-bench --bin perf_report > /dev/null
 
 echo "CI OK"

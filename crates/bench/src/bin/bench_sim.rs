@@ -16,31 +16,82 @@
 //!   dynamics — isolating the strided 4-D lookup against the classic
 //!   3-D fast path. **Gated**: the four-axis rate must stay within 10%
 //!   of the classic rate (exit code 1 otherwise);
+//! - `noop_overhead_ratio`: a fresh-engine single run through the
+//!   telemetry-instrumented `run_many_recorded` path (no-op recorder)
+//!   against the same run without instrumentation. **Gated**: the
+//!   instrumented path must keep ≥ 98% of the plain throughput
+//!   (exit code 1 otherwise) — the "no-op compiles to nothing" contract;
 //! - `run_many` scaling: `SELETH_BENCH_RUNS` runs (default 16) of
 //!   `blocks / 4` blocks each across worker counts 1/2/4/8, with the
-//!   parallel speedup relative to one worker.
+//!   parallel speedup relative to one worker and, per worker count, each
+//!   worker's tasks claimed, busy fraction and queue wait
+//!   (`run_many_tN_workers`).
+//!
+//! The JSON ends with a `"telemetry"` block (phases, merged worker
+//! shards, deterministic scheduler counters); `--trace <path>` dumps
+//! per-run span events as JSON lines.
 //!
 //! Usage: `cargo run --release -p seleth-bench --bin bench_sim`.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use seleth_bench::report::{trace_arg, write_trace};
 use seleth_mdp::{Fork, MdpConfig, PolicyTable, RewardModel, StateSpace};
+use seleth_obs::{NoopRecorder, Recorder, Stopwatch, Telemetry, TelemetryShard, TraceLog};
 use seleth_sim::{multi, SimConfig, Simulation};
 
+/// One-line JSON array of per-worker stats for a `run_many` measurement
+/// lasting `wall_s` seconds.
+fn workers_json(shards: &[TelemetryShard], wall_s: f64) -> String {
+    let rows: Vec<String> = shards
+        .iter()
+        .map(|s| {
+            let busy_fraction = if wall_s > 0.0 {
+                s.busy_ns as f64 / 1.0e9 / wall_s
+            } else {
+                0.0
+            };
+            format!(
+                "{{\"worker\": {}, \"tasks\": {}, \"busy_ms\": {:.3}, \
+                 \"queue_wait_ms\": {:.3}, \"busy_fraction\": {busy_fraction:.4}}}",
+                s.worker,
+                s.tasks,
+                s.busy_ns as f64 / 1.0e6,
+                s.queue_wait_ns as f64 / 1.0e6
+            )
+        })
+        .collect();
+    format!("[{}]", rows.join(", "))
+}
+
+// Keeps the value from the fastest repetition, so per-worker timing in
+// the returned value lines up with the reported wall time.
 fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
     let mut best = f64::INFINITY;
     let mut out = None;
     for _ in 0..reps.max(1) {
         let start = Instant::now();
         let value = f();
-        best = best.min(start.elapsed().as_secs_f64());
-        out = Some(value);
+        let elapsed = start.elapsed().as_secs_f64();
+        if elapsed < best {
+            best = elapsed;
+            out = Some(value);
+        }
     }
     (best, out.expect("at least one repetition"))
 }
 
 fn main() {
+    let trace_path = trace_arg();
+    let trace = TraceLog::new();
+    let recorder: &dyn Recorder = if trace_path.is_some() {
+        &trace
+    } else {
+        &NoopRecorder
+    };
+    let wall = Stopwatch::start();
+    let mut telemetry = Telemetry::new();
     let reps = usize::try_from(seleth_bench::env_u64("SELETH_BENCH_REPS", 3)).unwrap_or(3);
     let blocks = seleth_bench::env_u64("SELETH_BENCH_BLOCKS", 200_000);
     let runs = seleth_bench::env_u64("SELETH_BENCH_RUNS", 16);
@@ -61,10 +112,34 @@ fn main() {
         engine.run_in_place().pool.total()
     });
     let single_rate = blocks as f64 / single_s;
+    telemetry.add_phase("single_run", (single_s * 1e9) as u64);
     println!(
         "single_run          {blocks} blocks: {:.1} ms ({:.2} Mblocks/s)",
         single_s * 1e3,
         single_rate / 1e6
+    );
+
+    // --- No-op recorder overhead on the same budget ---
+    // A fresh engine per repetition on both sides, so the only difference
+    // is the instrumented scheduler (shard accounting + no-op recorder
+    // checks) around the run.
+    let (plain_s, plain_total) = best_of(reps, || {
+        let mut sim = Simulation::new(base.clone());
+        sim.run_in_place().pool.total()
+    });
+    let (noop_s, noop_reports) = best_of(reps, || {
+        multi::run_many_recorded(&base, 1, 1, &NoopRecorder).0
+    });
+    assert_eq!(
+        noop_reports[0].pool.total(),
+        plain_total,
+        "instrumentation must not change simulation results"
+    );
+    let noop_ratio = plain_s / noop_s;
+    telemetry.set_gauge("bench.noop_overhead_ratio", noop_ratio);
+    println!(
+        "noop_overhead       instrumented at {noop_ratio:.3}x of plain throughput \
+         (gate: >= 0.98)"
     );
 
     // --- Policy-playback throughput on the same block budget ---
@@ -98,6 +173,7 @@ fn main() {
         engine.run_in_place().pool.total()
     });
     let policy_rate = blocks as f64 / policy_s;
+    telemetry.add_phase("policy_run", (policy_s * 1e9) as u64);
     println!(
         "policy_run          {blocks} blocks: {:.1} ms ({:.2} Mblocks/s, {:.2}x of selfish)",
         policy_s * 1e3,
@@ -126,6 +202,7 @@ fn main() {
     );
     let policy4_rate = blocks as f64 / policy4_s;
     let policy4_ratio = policy4_rate / policy_rate;
+    telemetry.add_phase("policy4_run", (policy4_s * 1e9) as u64);
     println!(
         "policy4_run         {blocks} blocks: {:.1} ms ({:.2} Mblocks/s, {:.2}x of 3-axis)",
         policy4_s * 1e3,
@@ -144,10 +221,11 @@ fn main() {
         .build()
         .expect("valid config");
     let thread_counts = [1usize, 2, 4, 8];
+    let many = Stopwatch::start();
     let mut scaling = Vec::new();
     for &threads in &thread_counts {
-        let (s, reports) = best_of(reps, || {
-            multi::run_many_with_threads(&many_config, runs, threads)
+        let (s, (reports, shards)) = best_of(reps, || {
+            multi::run_many_recorded(&many_config, runs, threads, recorder)
         });
         assert_eq!(reports.len(), usize::try_from(runs).unwrap_or(usize::MAX));
         let rate = (many_blocks * runs) as f64 / s;
@@ -157,12 +235,18 @@ fn main() {
             s * 1e3,
             rate / 1e6
         );
-        scaling.push((threads, s));
+        scaling.push((threads, s, shards));
+    }
+    telemetry.add_phase("run_many", many.elapsed_ns());
+    if let Some((_, _, shards)) = scaling.last() {
+        for shard in shards {
+            telemetry.fold_shard(shard);
+        }
     }
     let speedup_max = scaling[0].1
         / scaling
             .iter()
-            .map(|&(_, s)| s)
+            .map(|(_, s, _)| *s)
             .fold(f64::INFINITY, f64::min);
     println!("run_many_speedup    best {speedup_max:.2}x over 1 thread");
 
@@ -179,23 +263,33 @@ fn main() {
     field("policy4_run_ms", format!("{:.3}", policy4_s * 1e3));
     field("policy4_run_blocks_per_sec", format!("{policy4_rate:.0}"));
     field("policy4_vs_policy3", format!("{policy4_ratio:.3}"));
+    field("noop_overhead_ratio", format!("{noop_ratio:.4}"));
     field("many_runs", runs.to_string());
     field("many_blocks_per_run", many_blocks.to_string());
-    for &(threads, s) in &scaling {
+    for (threads, s, shards) in &scaling {
         field(
             &format!("run_many_t{threads}_ms"),
             format!("{:.3}", s * 1e3),
         );
+        field(
+            &format!("run_many_t{threads}_workers"),
+            workers_json(shards, *s),
+        );
     }
     field("run_many_speedup_max", format!("{speedup_max:.3}"));
+    field("reps", reps.to_string());
+    telemetry.wall_ns = wall.elapsed_ns();
+    telemetry.threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    telemetry.set_gauge("host.available_parallelism", telemetry.threads as f64);
     // Trailing field without comma.
-    let _ = write!(json, "  \"reps\": {reps}\n}}\n");
+    let _ = write!(json, "  \"telemetry\": {}\n}}\n", telemetry.to_json(2));
 
     let dir = seleth_bench::results_dir();
     std::fs::create_dir_all(&dir).expect("create results directory");
     let path = dir.join("BENCH_sim.json");
     std::fs::write(&path, json).expect("write BENCH_sim.json");
     println!("wrote {}", path.display());
+    write_trace(&trace, trace_path.as_ref());
 
     // The four-axis lookup is the only new cost on the playback hot path;
     // hold it to within 10% of the classic fast path.
@@ -203,6 +297,15 @@ fn main() {
         eprintln!(
             "FAIL: four-axis playback at {policy4_ratio:.3}x of the 3-axis rate \
              (gate: >= 0.9)"
+        );
+        std::process::exit(1);
+    }
+    // The no-op recorder must keep its "compiles to nothing" promise on the
+    // single-run hot path.
+    if noop_ratio < 0.98 {
+        eprintln!(
+            "FAIL: no-op instrumentation at {noop_ratio:.3}x of the plain rate \
+             (gate: >= 0.98)"
         );
         std::process::exit(1);
     }

@@ -16,6 +16,11 @@
 //! - `mdp_expansion_reuse_speedup`: the ratio of the two — the
 //!   acceptance gate for the single-expansion layout is ≥ 2×.
 //!
+//! The JSON ends with a `"telemetry"` block carrying the Dinkelbach
+//! solver's instrumentation (bisection count, sweeps per ρ iterate,
+//! warm-start hit rate, final residual); `--trace <path>` dumps one span
+//! per benchmark section as JSON lines.
+//!
 //! Usage: `cargo run --release -p seleth-bench --bin bench_solver`.
 //! Set `SELETH_MDP_LEN` to override the MDP truncation (the default of 60
 //! takes a few minutes of total runtime; CI smoke runs use e.g. 16).
@@ -23,9 +28,11 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use seleth_bench::report::{trace_arg, write_trace};
 use seleth_chain::RewardSchedule;
 use seleth_core::{stationary, ModelParams};
 use seleth_mdp::{MdpConfig, RewardModel};
+use seleth_obs::{NoopRecorder, Recorder, Stopwatch, Telemetry, TraceLog};
 
 fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
     let mut best = f64::INFINITY;
@@ -40,6 +47,15 @@ fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
 }
 
 fn main() {
+    let trace_path = trace_arg();
+    let trace = TraceLog::new();
+    let recorder: &dyn Recorder = if trace_path.is_some() {
+        &trace
+    } else {
+        &NoopRecorder
+    };
+    let wall = Stopwatch::start();
+    let mut telemetry = Telemetry::new();
     let reps: usize = std::env::var("SELETH_BENCH_REPS")
         .ok()
         .and_then(|v| v.parse().ok())
@@ -59,12 +75,17 @@ fn main() {
     let mut out = vec![0.0; n];
     // Batch to get above timer resolution.
     let spmv_batch = 1_000;
+    let span_start = recorder.now_ns();
     let (spmv_batch_s, _) = best_of(reps, || {
         for _ in 0..spmv_batch {
             matrix.left_mul_vec(&pi, &mut out);
         }
         out[0]
     });
+    if recorder.enabled() {
+        recorder.span("csr_spmv", 0, span_start, recorder.now_ns());
+    }
+    telemetry.add_phase("csr_spmv", (spmv_batch_s * 1e9) as u64);
     let csr_spmv_ns = spmv_batch_s / spmv_batch as f64 * 1e9;
     println!(
         "csr_spmv            {n} states, {} nnz: {csr_spmv_ns:.0} ns/product",
@@ -72,7 +93,12 @@ fn main() {
     );
 
     // --- Full stationary solve ---
+    let span_start = recorder.now_ns();
     let (stationary_s, _) = best_of(reps, || stationary::solve(&params).expect("solve"));
+    if recorder.enabled() {
+        recorder.span("stationary_solve", 0, span_start, recorder.now_ns());
+    }
+    telemetry.add_phase("stationary_solve", (stationary_s * 1e9) as u64);
     println!(
         "stationary_solve    truncation 200: {:.2} ms",
         stationary_s * 1e3
@@ -80,8 +106,33 @@ fn main() {
 
     // --- MDP: single expansion + warm start vs legacy re-expansion ---
     let config = MdpConfig::new(0.35, 0.5, RewardModel::Bitcoin).with_max_len(mdp_len);
+    let span_start = recorder.now_ns();
     let (fast_s, fast) = best_of(reps, || config.solve().expect("mdp solve"));
+    if recorder.enabled() {
+        recorder.span("mdp_solve", 0, span_start, recorder.now_ns());
+    }
+    telemetry.add_phase("mdp_solve", (fast_s * 1e9) as u64);
+    let stats = &fast.stats;
+    telemetry.add("solver.bisections", stats.bisection_steps as u64);
+    telemetry.add(
+        "solver.sweeps",
+        stats.sweeps_per_iterate.iter().map(|&s| s as u64).sum(),
+    );
+    telemetry.add("solver.warm_start_hits", stats.warm_start_hits as u64);
+    for &sweeps in &stats.sweeps_per_iterate {
+        telemetry.observe("solver.sweeps_per_iterate", sweeps as u64);
+    }
+    telemetry.set_gauge("solver.warm_start_hit_rate", stats.warm_start_hit_rate());
+    telemetry.set_gauge(
+        "solver.final_residual",
+        stats.residuals.last().copied().unwrap_or(0.0),
+    );
+    let span_start = recorder.now_ns();
     let (slow_s, slow) = best_of(reps, || config.solve_reexpanding().expect("mdp solve"));
+    if recorder.enabled() {
+        recorder.span("mdp_solve_reexpand", 0, span_start, recorder.now_ns());
+    }
+    telemetry.add_phase("mdp_solve_reexpand", (slow_s * 1e9) as u64);
     assert!(
         (fast.revenue - slow.revenue).abs() < 1e-9,
         "solvers disagree: {} vs {}",
@@ -115,14 +166,19 @@ fn main() {
     field("mdp_solve_reexpand_sweeps", slow.iterations.to_string());
     field("mdp_expansion_reuse_speedup", format!("{speedup:.3}"));
     field("reps", reps.to_string());
+    field("revenue_check", format!("{:.9}", fast.revenue));
+    telemetry.wall_ns = wall.elapsed_ns();
+    telemetry.threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    telemetry.set_gauge("host.available_parallelism", telemetry.threads as f64);
     // Trailing field without comma.
-    let _ = write!(json, "  \"revenue_check\": {:.9}\n}}\n", fast.revenue);
+    let _ = write!(json, "  \"telemetry\": {}\n}}\n", telemetry.to_json(2));
 
     let dir = seleth_bench::results_dir();
     std::fs::create_dir_all(&dir).expect("create results directory");
     let path = dir.join("BENCH_solver.json");
     std::fs::write(&path, json).expect("write BENCH_solver.json");
     println!("wrote {}", path.display());
+    write_trace(&trace, trace_path.as_ref());
 
     if speedup < 2.0 {
         eprintln!("WARNING: single-expansion speedup {speedup:.2}x below the 2x acceptance gate");

@@ -37,9 +37,11 @@
 use std::fmt::Write as _;
 
 use seleth_bench::json_f64;
-use seleth_chain::{RewardSchedule, Scenario};
+use seleth_bench::report::{gate_tolerance, replay_revenue, trace_arg, write_trace};
+use seleth_chain::RewardSchedule;
 use seleth_mdp::{PolicyTable, RewardModel};
-use seleth_sim::delay::{DelayConfig, DelaySimulation};
+use seleth_obs::{NoopRecorder, Recorder, Stopwatch, Telemetry, TelemetryShard, TraceLog};
+use seleth_sim::delay::DelayConfig;
 use seleth_sim::pools;
 
 /// Mean block interval for every run (Ethereum-like, seconds).
@@ -102,7 +104,9 @@ struct Point {
 }
 
 /// One evaluated sweep point: an artifact replayed at one delay under a
-/// fixed share split.
+/// fixed share split, through the shared replay loop. The run's
+/// deterministic engine counters are folded into the worker's telemetry
+/// shard.
 fn eval_point(
     table: &PolicyTable,
     spec: &Artifact,
@@ -110,6 +114,7 @@ fn eval_point(
     delay: f64,
     runs: u64,
     blocks: u64,
+    shard: &mut TelemetryShard,
 ) -> Point {
     let schedule = match spec.rewards {
         RewardModel::Bitcoin => RewardSchedule::bitcoin(),
@@ -126,29 +131,22 @@ fn eval_point(
         .seed(SEED)
         .build()
         .expect("valid delay config");
-    let mut revenues = Vec::with_capacity(runs as usize);
-    let mut orphans = 0.0;
-    for k in 0..runs {
-        let report = DelaySimulation::new(config.with_seed(SEED + k)).run();
-        // The artifact's rho* is a RegularRate-normalized revenue;
-        // measure the same quantity (identical to the plain revenue
-        // share under the Bitcoin schedule).
-        revenues.push(report.absolute_revenue(0, Scenario::RegularRate));
-        orphans += report.orphan_rate();
-    }
-    let (mean, std_err) = seleth_bench::mean_stderr(&revenues);
+    let outcome = replay_revenue(runs, 1, |k| config.with_seed(SEED + k));
+    outcome.counters.record_into(shard);
+    shard.add("study.runs", runs);
     Point {
         delay,
-        mean,
-        std_err,
-        orphan_rate: orphans / runs as f64,
+        mean: outcome.mean(),
+        std_err: outcome.std_err(),
+        orphan_rate: outcome.orphan_rate,
     }
 }
 
 /// One degradation curve: an artifact replayed over the delay sweep under
 /// a fixed share split, sweep points in parallel through the shared
 /// work-queue helper (the same scheduler the zoo tournament uses; results
-/// are bit-identical for every thread count).
+/// are bit-identical for every thread count). Returns the points plus the
+/// workers' telemetry shards.
 fn sweep_series(
     table: &PolicyTable,
     spec: &Artifact,
@@ -156,14 +154,24 @@ fn sweep_series(
     delays: &[f64],
     runs: u64,
     blocks: u64,
-) -> Vec<Point> {
-    seleth_bench::par_map(delays, 0, |&delay| {
-        eval_point(table, spec, shares, delay, runs, blocks)
+    recorder: &dyn Recorder,
+) -> (Vec<Point>, Vec<TelemetryShard>) {
+    seleth_bench::par_map_traced(delays, 0, recorder, |&delay, shard| {
+        eval_point(table, spec, shares, delay, runs, blocks, shard)
     })
 }
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let trace_path = trace_arg();
+    let trace = TraceLog::new();
+    let recorder: &dyn Recorder = if trace_path.is_some() {
+        &trace
+    } else {
+        &NoopRecorder
+    };
+    let wall = Stopwatch::start();
+    let mut telemetry = Telemetry::new();
     let runs = seleth_bench::env_u64("SELETH_RUNS", if smoke { 3 } else { 6 });
     let blocks = seleth_bench::env_u64("SELETH_BLOCKS", if smoke { 10_000 } else { 40_000 });
     let max_len = u32::try_from(seleth_bench::env_u64("SELETH_MDP_LEN", 30)).unwrap_or(30);
@@ -187,7 +195,9 @@ fn main() {
     let mut failed = false;
     let mut series_json = Vec::new();
     for spec in artifacts {
+        let load = Stopwatch::start();
         let table = load_or_solve(spec, max_len);
+        telemetry.add_phase("load_policies", load.elapsed_ns());
         let rho = table.predicted_revenue();
         let splits: &[(&str, Vec<f64>)] = &[
             ("duopoly", vec![spec.alpha, 1.0 - spec.alpha]),
@@ -196,7 +206,13 @@ fn main() {
         let splits = if smoke { &splits[..1] } else { splits };
 
         for (split_name, shares) in splits {
-            let points = sweep_series(&table, spec, shares, delays, runs, blocks);
+            let sweep = Stopwatch::start();
+            let (points, shards) =
+                sweep_series(&table, spec, shares, delays, runs, blocks, recorder);
+            telemetry.add_phase("sweep", sweep.elapsed_ns());
+            for shard in &shards {
+                telemetry.fold_shard(shard);
+            }
             for p in &points {
                 println!(
                     "{:>20} {:>9} {:>9.1} {:>8.5} {:>10.5} {:>9.5} {:>+10.5} {:>8.4}",
@@ -217,12 +233,7 @@ fn main() {
                 let zero = &points[0];
                 assert!(zero.delay == 0.0, "sweep starts at the zero-delay limit");
                 let diff = (zero.mean - rho).abs();
-                let tolerance = if smoke {
-                    // Tiny budgets: sanity only.
-                    (4.0 * zero.std_err).max(0.05)
-                } else {
-                    (3.0 * zero.std_err).max(0.01)
-                };
+                let tolerance = gate_tolerance(smoke, zero.std_err);
                 if diff > tolerance {
                     eprintln!(
                         "FAIL {}: zero-delay revenue {:.5} vs rho* {rho:.5} \
@@ -275,12 +286,16 @@ fn main() {
         }
     }
 
+    telemetry.wall_ns = wall.elapsed_ns();
+    telemetry.threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    telemetry.set_gauge("host.available_parallelism", telemetry.threads as f64);
     let json = format!(
         "{{\n  \"kind\": \"seleth-delay-study\",\n  \"format\": 1,\n  \
          \"interval\": {},\n  \"runs\": {runs},\n  \"blocks\": {blocks},\n  \
-         \"series\": [\n{}\n  ]\n}}\n",
+         \"series\": [\n{}\n  ],\n  \"telemetry\": {}\n}}\n",
         json_f64(INTERVAL),
-        series_json.join(",\n")
+        series_json.join(",\n"),
+        telemetry.to_json(2)
     );
     let out_name = if smoke {
         "delay_study_smoke.json"
@@ -295,6 +310,7 @@ fn main() {
     println!("race the strategist's overrides and the optimal-under-zero-delay policy");
     println!("bleeds its edge; 'orphans' tracks the systemic cost.");
     println!("wrote {}", path.display());
+    write_trace(&trace, trace_path.as_ref());
 
     if failed {
         eprintln!("FAIL: a gated zero-delay point disagrees with its PR 2 prediction");

@@ -12,7 +12,9 @@
 //!
 //! Artifacts land in `results/policies/` (see the README's "Policy
 //! subsystem" section for the format); the comparison table is written to
-//! `results/optimal_sim.csv`. Environment knobs: `SELETH_RUNS` (8),
+//! `results/optimal_sim.csv` and, with solver/simulator telemetry, to
+//! `results/optimal_sim.json`. `--trace <path>` additionally dumps span
+//! events as JSON lines. Environment knobs: `SELETH_RUNS` (8),
 //! `SELETH_BLOCKS` (50 000), `SELETH_MDP_LEN` (30), `SELETH_RESULTS`,
 //! `SELETH_POLICIES` (artifact directory override).
 //!
@@ -23,8 +25,11 @@
 //! byte-identically; exit code 1 otherwise. This is the CI compat gate
 //! for the artifact format.
 
+use seleth_bench::json_f64;
+use seleth_bench::report::{trace_arg, write_trace};
 use seleth_chain::{RewardSchedule, Scenario};
 use seleth_mdp::{MdpConfig, PolicyTable, RewardModel};
+use seleth_obs::{NoopRecorder, Recorder, Stopwatch, Telemetry, TraceLog};
 use seleth_sim::{multi, SimConfig};
 
 struct Point {
@@ -100,6 +105,15 @@ fn main() {
     if std::env::args().any(|arg| arg == "--audit") {
         audit_artifacts();
     }
+    let trace_path = trace_arg();
+    let trace = TraceLog::new();
+    let recorder: &dyn Recorder = if trace_path.is_some() {
+        &trace
+    } else {
+        &NoopRecorder
+    };
+    let wall = Stopwatch::start();
+    let mut telemetry = Telemetry::new();
     let runs = seleth_bench::env_u64("SELETH_RUNS", 8);
     let blocks = seleth_bench::env_u64("SELETH_BLOCKS", 50_000);
     let max_len = u32::try_from(seleth_bench::env_u64("SELETH_MDP_LEN", 30)).unwrap_or(30);
@@ -145,10 +159,27 @@ fn main() {
 
     let policies_dir = seleth_bench::policies_dir();
     let mut rows = Vec::new();
+    let mut point_rows = Vec::new();
     let mut failed = false;
+    let mut solve_ns = 0u64;
+    let mut sim_ns = 0u64;
+    let mut warm_rates = Vec::new();
     for p in &points {
         let config = MdpConfig::new(p.alpha, p.gamma, p.rewards).with_max_len(max_len);
+        let solving = Stopwatch::start();
         let solution = config.solve().expect("mdp solve");
+        solve_ns += solving.elapsed_ns();
+        let stats = &solution.stats;
+        telemetry.add("solver.bisections", stats.bisection_steps as u64);
+        telemetry.add(
+            "solver.sweeps",
+            stats.sweeps_per_iterate.iter().map(|&s| s as u64).sum(),
+        );
+        for &sweeps in &stats.sweeps_per_iterate {
+            telemetry.observe("solver.sweeps_per_iterate", sweeps as u64);
+        }
+        telemetry.add("solver.warm_start_hits", stats.warm_start_hits as u64);
+        warm_rates.push(stats.warm_start_hit_rate());
         let table = PolicyTable::from_solution(&config, &solution);
 
         // The artifact is the product under test: save, reload, replay the
@@ -176,7 +207,12 @@ fn main() {
             .policy(loaded)
             .build()
             .expect("valid sim config");
-        let reports = multi::run_many(&sim_config, runs);
+        let simulating = Stopwatch::start();
+        let (reports, shards) = multi::run_many_recorded(&sim_config, runs, 0, recorder);
+        sim_ns += simulating.elapsed_ns();
+        for shard in &shards {
+            telemetry.fold_shard(shard);
+        }
         let us = multi::mean_absolute_pool(&reports, Scenario::RegularRate);
         let std_err = us.std_dev / (runs as f64).sqrt();
         let diff = (us.mean - solution.revenue).abs();
@@ -198,6 +234,15 @@ fn main() {
         row.insert(2, model.to_string());
         row.push(verdict.to_string());
         rows.push(row);
+        point_rows.push(format!(
+            "    {{\"alpha\": {}, \"gamma\": {}, \"model\": \"{model}\", \"rho_mdp\": {}, \
+             \"us_sim\": {}, \"std_err\": {}, \"verdict\": \"{verdict}\"}}",
+            json_f64(p.alpha),
+            json_f64(p.gamma),
+            json_f64(solution.revenue),
+            json_f64(us.mean),
+            json_f64(std_err)
+        ));
     }
 
     let csv = seleth_bench::write_csv(
@@ -207,8 +252,27 @@ fn main() {
         ],
         &rows,
     );
+    telemetry.add_phase("solve", solve_ns);
+    telemetry.add_phase("simulate", sim_ns);
+    telemetry.wall_ns = wall.elapsed_ns();
+    telemetry.threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    telemetry.set_gauge("host.available_parallelism", telemetry.threads as f64);
+    telemetry.set_gauge(
+        "solver.warm_start_hit_rate",
+        warm_rates.iter().sum::<f64>() / warm_rates.len().max(1) as f64,
+    );
+    let json = format!(
+        "{{\n  \"kind\": \"seleth-optimal-sim\",\n  \"format\": 1,\n  \
+         \"runs\": {runs},\n  \"blocks\": {blocks},\n  \"mdp_len\": {max_len},\n  \
+         \"points\": [\n{}\n  ],\n  \"telemetry\": {}\n}}\n",
+        point_rows.join(",\n"),
+        telemetry.to_json(2)
+    );
+    let json_path = seleth_bench::write_text("optimal_sim.json", &json);
     println!("\npolicies under {}", policies_dir.display());
     println!("wrote {}", csv.display());
+    println!("wrote {}", json_path.display());
+    write_trace(&trace, trace_path.as_ref());
 
     if failed {
         eprintln!("FAIL: a gated point disagrees with its MDP prediction");

@@ -129,6 +129,51 @@ impl Policy {
     }
 }
 
+/// Instrumentation of one Dinkelbach solve.
+///
+/// Collected on every [`MdpConfig::solve`] (and on the legacy
+/// re-expanding solver, where it documents what warm starts buy): one
+/// entry per ρ iterate — the bisection candidates in order, then the
+/// closing full-tolerance evaluation at the solved revenue. Recording is
+/// pure bookkeeping over values the solver already computes, so the
+/// numerics (and exported policy artifacts) are untouched.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SolveStats {
+    /// Bisection steps taken on the ρ bracket.
+    pub bisection_steps: usize,
+    /// Value-iteration sweeps spent per ρ iterate (last entry: the
+    /// closing evaluation at ρ*).
+    pub sweeps_per_iterate: Vec<usize>,
+    /// Final Bellman-update span per ρ iterate — the residual each
+    /// iterate converged (or sign-resolved) at.
+    pub residuals: Vec<f64>,
+    /// Iterates after the first that converged in fewer sweeps than the
+    /// cold first iterate — warm starts paying off.
+    pub warm_start_hits: usize,
+}
+
+impl SolveStats {
+    fn record(&mut self, sweeps: usize, residual: f64) {
+        if let Some(&cold) = self.sweeps_per_iterate.first() {
+            if sweeps < cold {
+                self.warm_start_hits += 1;
+            }
+        }
+        self.sweeps_per_iterate.push(sweeps);
+        self.residuals.push(residual);
+    }
+
+    /// Fraction of post-cold iterates that beat the cold iterate's sweep
+    /// count; `0.0` for a solve with at most one iterate.
+    pub fn warm_start_hit_rate(&self) -> f64 {
+        let later = self.sweeps_per_iterate.len().saturating_sub(1);
+        if later == 0 {
+            return 0.0;
+        }
+        self.warm_start_hits as f64 / later as f64
+    }
+}
+
 /// Result of solving the MDP.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Solution {
@@ -141,6 +186,8 @@ pub struct Solution {
     pub policy: Policy,
     /// Value-iteration sweeps used across all bisection steps.
     pub iterations: usize,
+    /// Per-iterate instrumentation of the solve.
+    pub stats: SolveStats,
 }
 
 /// The transition table of one solve, flattened into contiguous arrays.
@@ -300,7 +347,8 @@ impl ExpandedMdp {
 
     /// Optimal average transformed reward `g(ρ)` via relative value
     /// iteration, warm-started from (and leaving its converged values in)
-    /// `ws.v`. Returns `(g, sweeps)`.
+    /// `ws.v`. Returns `(g, sweeps, span)` — `span` is the Bellman-update
+    /// span seminorm of the terminating sweep (the iterate's residual).
     ///
     /// With `sign_only`, iteration stops as soon as the sign of `g(ρ)` is
     /// certain: every sweep's Bellman-update differences bound the optimal
@@ -315,7 +363,7 @@ impl ExpandedMdp {
         threads: usize,
         sign_only: bool,
         ws: &mut ValueWorkspace,
-    ) -> Result<(f64, usize), MdpError> {
+    ) -> Result<(f64, usize, f64), MdpError> {
         let n = self.len();
         let max_sweeps = 200_000;
         for sweep in 0..max_sweeps {
@@ -334,10 +382,10 @@ impl ExpandedMdp {
                 ws.v[i] = ws.next_v[i] - offset;
             }
             if sign_only && (min_d > 0.0 || max_d < 0.0) {
-                return Ok((0.5 * (max_d + min_d), sweep + 1));
+                return Ok((0.5 * (max_d + min_d), sweep + 1, max_d - min_d));
             }
             if max_d - min_d < tolerance {
-                return Ok((0.5 * (max_d + min_d), sweep + 1));
+                return Ok((0.5 * (max_d + min_d), sweep + 1, max_d - min_d));
             }
         }
         // The caller widens `rho_lo`/`rho_hi` to its live bisection
@@ -398,6 +446,7 @@ impl MdpConfig {
         let mut hi = 2.0f64;
         let mut iterations = 0usize;
         let mut steps = 0usize;
+        let mut stats = SolveStats::default();
         while hi - lo > self.rho_tolerance {
             if steps >= MAX_BISECTIONS {
                 return Err(MdpError::NoConvergence {
@@ -408,24 +457,27 @@ impl MdpConfig {
             }
             steps += 1;
             let mid = 0.5 * (lo + hi);
-            let (g, sweeps) = expanded
+            let (g, sweeps, span) = expanded
                 .optimal_average(mid, self.tolerance, threads, true, &mut ws)
                 .map_err(|e| widen_bracket(e, lo, hi, iterations))?;
             iterations += sweeps;
+            stats.record(sweeps, span);
             if g > 0.0 {
                 lo = mid;
             } else {
                 hi = mid;
             }
         }
+        stats.bisection_steps = steps;
         let revenue = 0.5 * (lo + hi);
         // One more full-tolerance evaluation at the solved revenue (cheap:
         // warm-started) so the reported policy is greedy at ρ*, not at the
         // last bisection midpoint.
-        let (_, sweeps) = expanded
+        let (_, sweeps, span) = expanded
             .optimal_average(revenue, self.tolerance, threads, false, &mut ws)
             .map_err(|e| widen_bracket(e, lo, hi, iterations))?;
         iterations += sweeps;
+        stats.record(sweeps, span);
         let actions = expanded.greedy_policy(revenue, &ws.v, threads);
         Ok(Solution {
             revenue,
@@ -434,6 +486,7 @@ impl MdpConfig {
                 actions,
             },
             iterations,
+            stats,
         })
     }
 
@@ -454,6 +507,7 @@ impl MdpConfig {
         let mut hi = 2.0f64;
         let mut iterations = 0usize;
         let mut steps = 0usize;
+        let mut stats = SolveStats::default();
         let mut last: Option<Solution> = None;
         while hi - lo > self.rho_tolerance {
             if steps >= MAX_BISECTIONS {
@@ -469,9 +523,10 @@ impl MdpConfig {
             // cold-started value function per candidate.
             let expanded = ExpandedMdp::build(self);
             let mut ws = ValueWorkspace::new(expanded.len());
-            let (g, sweeps) =
+            let (g, sweeps, span) =
                 expanded.optimal_average(mid, self.tolerance, threads, false, &mut ws)?;
             iterations += sweeps;
+            stats.record(sweeps, span);
             let actions = expanded.greedy_policy(mid, &ws.v, threads);
             if g > 0.0 {
                 lo = mid;
@@ -485,11 +540,14 @@ impl MdpConfig {
                     actions,
                 },
                 iterations,
+                stats: SolveStats::default(),
             });
         }
         let mut solution = last.expect("bisection runs at least once");
         solution.revenue = 0.5 * (lo + hi);
         solution.iterations = iterations;
+        stats.bisection_steps = steps;
+        solution.stats = stats;
         Ok(solution)
     }
 }
@@ -546,6 +604,28 @@ mod tests {
         assert!(
             (opt - 0.37077).abs() < 5e-4,
             "published optimal value: got {opt}"
+        );
+    }
+
+    #[test]
+    fn solve_stats_trace_the_bisection() {
+        let s = solve(0.35, 0.5, RewardModel::Bitcoin);
+        let stats = &s.stats;
+        assert!(stats.bisection_steps > 0);
+        // One entry per bisection candidate plus the closing evaluation.
+        assert_eq!(stats.sweeps_per_iterate.len(), stats.bisection_steps + 1);
+        assert_eq!(stats.residuals.len(), stats.sweeps_per_iterate.len());
+        assert_eq!(
+            stats.sweeps_per_iterate.iter().sum::<usize>(),
+            s.iterations,
+            "per-iterate sweeps must partition the total"
+        );
+        assert!(stats.residuals.iter().all(|r| r.is_finite() && *r >= 0.0));
+        let rate = stats.warm_start_hit_rate();
+        assert!((0.0..=1.0).contains(&rate));
+        assert!(
+            rate > 0.5,
+            "warm starts should beat the cold iterate most of the time: {rate}"
         );
     }
 

@@ -1,0 +1,42 @@
+//! Zero-dependency telemetry core for the selfish-ethereum workspace.
+//!
+//! The crate is hand-rolled (no external dependencies, matching the offline
+//! `vendor/` policy) and provides four layers:
+//!
+//! * **Primitives** ([`metrics`]): atomic [`Counter`]s and [`Gauge`]s for
+//!   shared state, plus fixed-bucket power-of-two [`Histogram`]s and a
+//!   monotonic [`Stopwatch`] for scoped timing.
+//! * **Recorder** ([`recorder`]): the [`Recorder`] trait behind which all
+//!   instrumentation sits.  The default method bodies are empty, so the
+//!   no-op implementation ([`NoopRecorder`]) compiles to nothing on hot
+//!   paths; [`TraceLog`] is an in-memory span sink that can be dumped as
+//!   JSON lines for the `--trace` flag of the study bins.
+//! * **Shards** ([`telemetry`]): per-worker [`TelemetryShard`]s accumulate
+//!   counters, histograms and busy/queue-wait time without any locking, and
+//!   merge deterministically into a [`Telemetry`] summary whose counter
+//!   totals are bit-identical at any thread count.
+//! * **Profiles** ([`profile`]): a tiny JSON parser ([`json`]) and
+//!   [`render_profile`], which turns the `"telemetry"` block of any study
+//!   JSON into a human-readable report (used by the `perf_report` bin).
+//!
+//! Determinism contract: counter and histogram-bucket totals are plain
+//! `u64` sums of per-task values, so a merged [`Telemetry`] is invariant to
+//! how tasks were partitioned across workers.  Wall-clock fields (`busy_ns`,
+//! `queue_wait_ns`, span timestamps) are measurement artifacts and are
+//! explicitly excluded from that guarantee.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
+
+pub mod json;
+pub mod metrics;
+pub mod profile;
+pub mod recorder;
+pub mod telemetry;
+
+pub use json::{parse_json, JsonError, JsonValue};
+pub use metrics::{Counter, Gauge, Histogram, Stopwatch};
+pub use profile::render_profile;
+pub use recorder::{NoopRecorder, Recorder, SpanEvent, TraceLog};
+pub use telemetry::{Telemetry, TelemetryShard, WorkerStats};

@@ -472,6 +472,113 @@ fn enqueue(queue: &mut VecDeque<Pending>, pub_time: &[f64], p: Pending) {
     }
 }
 
+/// Deterministic event counters of one delay run.
+///
+/// Every field is a plain `u64` incremented on the engine's control-flow
+/// paths without ever touching the RNG or the event timeline, so counting
+/// preserves the zero-fault bit-identity invariant (a [`FaultPlan::none`]
+/// run stays bit-identical to the fault-unaware engine) and counter totals
+/// summed across runs are bit-identical in any grouping — the property the
+/// telemetry shard merge relies on.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DelayCounters {
+    /// Poisson event slots that produced a block.
+    pub mining_events: u64,
+    /// Poisson event slots lost to a crashed miner (thinning).
+    pub thinned_events: u64,
+    /// Delivery events processed at a receiver (views and strategist
+    /// inboxes; duplicate copies count here too once processed).
+    pub deliveries: u64,
+    /// Inert duplicate copies processed at a receiver.
+    pub duplicate_deliveries: u64,
+    /// Gossip messages lost to the link-fault drop coin.
+    pub drops: u64,
+    /// Re-gossip retries enqueued after a drop or a partition stall.
+    pub regossip_attempts: u64,
+    /// Deliveries stalled because a partition separated producer and
+    /// receiver at arrival time.
+    pub partition_stalls: u64,
+    /// Partition windows observed closing (active → healed transitions
+    /// sampled at mining events).
+    pub partition_heals: u64,
+    /// Hear events a crashed strategist missed outright.
+    pub crash_misses: u64,
+    /// Crash-recovery resynchronizations (forced-adopt rejoins).
+    pub crash_resyncs: u64,
+    /// Epochs conceded because a below-epoch branch caught up.
+    pub forced_adopts: u64,
+    /// Policy *adopt* actions executed.
+    pub adopts: u64,
+    /// Policy *override* actions executed.
+    pub overrides: u64,
+    /// Policy *match* actions executed.
+    pub matches: u64,
+    /// Blocks released into the gossip layer (honest blocks at mine time,
+    /// strategic blocks at publication).
+    pub released_blocks: u64,
+    /// Blocks that ended the run off the main chain (uncles + stales).
+    pub orphan_blocks: u64,
+}
+
+impl DelayCounters {
+    /// Add `other`'s totals into `self` (u64 sums: order-independent).
+    pub fn merge(&mut self, other: &DelayCounters) {
+        for ((_, lhs), (_, rhs)) in self.entries_mut().into_iter().zip(other.entries()) {
+            *lhs += rhs;
+        }
+    }
+
+    /// Counter values under their stable telemetry keys.
+    pub fn entries(&self) -> [(&'static str, u64); 16] {
+        [
+            ("delay.mining_events", self.mining_events),
+            ("delay.thinned_events", self.thinned_events),
+            ("delay.deliveries", self.deliveries),
+            ("delay.duplicate_deliveries", self.duplicate_deliveries),
+            ("delay.drops", self.drops),
+            ("delay.regossip_attempts", self.regossip_attempts),
+            ("delay.partition_stalls", self.partition_stalls),
+            ("delay.partition_heals", self.partition_heals),
+            ("delay.crash_misses", self.crash_misses),
+            ("delay.crash_resyncs", self.crash_resyncs),
+            ("delay.forced_adopts", self.forced_adopts),
+            ("delay.adopts", self.adopts),
+            ("delay.overrides", self.overrides),
+            ("delay.matches", self.matches),
+            ("delay.released_blocks", self.released_blocks),
+            ("delay.orphan_blocks", self.orphan_blocks),
+        ]
+    }
+
+    fn entries_mut(&mut self) -> [(&'static str, &mut u64); 16] {
+        [
+            ("delay.mining_events", &mut self.mining_events),
+            ("delay.thinned_events", &mut self.thinned_events),
+            ("delay.deliveries", &mut self.deliveries),
+            ("delay.duplicate_deliveries", &mut self.duplicate_deliveries),
+            ("delay.drops", &mut self.drops),
+            ("delay.regossip_attempts", &mut self.regossip_attempts),
+            ("delay.partition_stalls", &mut self.partition_stalls),
+            ("delay.partition_heals", &mut self.partition_heals),
+            ("delay.crash_misses", &mut self.crash_misses),
+            ("delay.crash_resyncs", &mut self.crash_resyncs),
+            ("delay.forced_adopts", &mut self.forced_adopts),
+            ("delay.adopts", &mut self.adopts),
+            ("delay.overrides", &mut self.overrides),
+            ("delay.matches", &mut self.matches),
+            ("delay.released_blocks", &mut self.released_blocks),
+            ("delay.orphan_blocks", &mut self.orphan_blocks),
+        ]
+    }
+
+    /// Fold the totals into a telemetry shard under the `delay.` keys.
+    pub fn record_into(&self, shard: &mut seleth_obs::TelemetryShard) {
+        for (key, value) in self.entries() {
+            shard.add(key, value);
+        }
+    }
+}
+
 /// The delay-study simulator.
 #[derive(Debug)]
 pub struct DelaySimulation {
@@ -494,6 +601,12 @@ pub struct DelaySimulation {
     crash_faults: bool,
     partition_faults: bool,
     now: f64,
+    /// Deterministic event counters (no RNG interaction; see
+    /// [`DelayCounters`]).
+    counters: DelayCounters,
+    /// Whether a partition window was active at the last mining event
+    /// (tracks active → healed transitions for `partition_heals`).
+    partition_open: bool,
 }
 
 /// Outcome of a delay run.
@@ -503,6 +616,8 @@ pub struct DelayReport {
     pub shares: Vec<f64>,
     /// Per-miner accounting.
     pub report: accounting::RewardReport,
+    /// Deterministic event counters of the run.
+    pub counters: DelayCounters,
 }
 
 impl DelaySimulation {
@@ -558,6 +673,8 @@ impl DelaySimulation {
             crash_faults,
             partition_faults,
             now: 0.0,
+            counters: DelayCounters::default(),
+            partition_open: false,
         }
     }
 
@@ -590,9 +707,11 @@ impl DelaySimulation {
         }
         let chain = longest_chain(&self.tree, TieBreak::FirstSeen);
         let report = accounting::account(&self.tree, &chain, &self.config.schedule);
+        self.counters.orphan_blocks = report.uncle_count + report.stale_count;
         DelayReport {
             shares: self.config.shares.clone(),
             report,
+            counters: self.counters,
         }
     }
 
@@ -601,6 +720,14 @@ impl DelaySimulation {
         let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
         self.now += -self.config.interval * u.ln();
         let miner = self.pick_miner();
+
+        if self.partition_faults {
+            let open = self.config.faults.active_partition(self.now).is_some();
+            if self.partition_open && !open {
+                self.counters.partition_heals += 1;
+            }
+            self.partition_open = open;
+        }
 
         // Deliver everything that reached a strategic miner before this
         // mining event (their decisions — and therefore their release
@@ -615,14 +742,18 @@ impl DelaySimulation {
                 // race: the event slot produces no block (thinning — the
                 // arrival process stays exact for the remaining power).
                 if self.strategist_down(i, self.now) {
+                    self.counters.thinned_events += 1;
                     return;
                 }
+                self.counters.mining_events += 1;
                 self.strategic_mines(i)
             }
             None => {
                 if self.crash_faults && self.crashes.is_down(miner.0 as usize, self.now) {
+                    self.counters.thinned_events += 1;
                     return;
                 }
+                self.counters.mining_events += 1;
                 self.honest_mines(miner)
             }
         }
@@ -657,6 +788,7 @@ impl DelaySimulation {
         if self.pub_time[id.index()] < f64::INFINITY {
             return; // already out (e.g. a matched prefix being overridden)
         }
+        self.counters.released_blocks += 1;
         self.pub_time[id.index()] = t;
         let block = id.index() as u64;
         for v in 0..self.views.len() {
@@ -712,6 +844,9 @@ impl DelaySimulation {
             }
             self.views[v].pending.pop_front();
             let front = p.block;
+            if p.dup {
+                self.counters.duplicate_deliveries += 1;
+            }
             if !p.dup && (self.link_faults || self.partition_faults) {
                 let plan = &self.config.faults;
                 let block = front.index() as u64;
@@ -734,6 +869,12 @@ impl DelaySimulation {
                         attempt: p.attempt + 1,
                         dup: false,
                     };
+                    if stalled {
+                        self.counters.partition_stalls += 1;
+                    } else {
+                        self.counters.drops += 1;
+                    }
+                    self.counters.regossip_attempts += 1;
                     enqueue(&mut self.views[v].pending, &self.pub_time, retry);
                     continue;
                 }
@@ -745,6 +886,7 @@ impl DelaySimulation {
                     );
                 }
             }
+            self.counters.deliveries += 1;
             let h = self.tree.height(front);
             let best = self.views[v].best;
             let best_h = self.tree.height(best);
@@ -812,7 +954,11 @@ impl DelaySimulation {
             // (below, for fault plans with link faults) or the forced-adopt
             // resync on recovery pick the chain back up.
             if self.crash_faults && self.strategist_down(chosen, t) {
+                self.counters.crash_misses += 1;
                 continue;
+            }
+            if p.dup {
+                self.counters.duplicate_deliveries += 1;
             }
             if !p.dup && (self.link_faults || self.partition_faults) {
                 let plan = &self.config.faults;
@@ -830,6 +976,12 @@ impl DelaySimulation {
                         attempt: p.attempt + 1,
                         dup: false,
                     };
+                    if stalled {
+                        self.counters.partition_stalls += 1;
+                    } else {
+                        self.counters.drops += 1;
+                    }
+                    self.counters.regossip_attempts += 1;
                     enqueue(&mut self.strategists[chosen].inbox, &self.pub_time, retry);
                     continue;
                 }
@@ -841,6 +993,7 @@ impl DelaySimulation {
                     );
                 }
             }
+            self.counters.deliveries += 1;
             self.hear(chosen, p.block, t);
         }
     }
@@ -870,6 +1023,7 @@ impl DelaySimulation {
     /// concedes whatever private fork it held before the crash — the
     /// forced-adopt path, identical to losing an epoch.
     fn resync_strategist(&mut self, i: usize, t: f64) {
+        self.counters.crash_resyncs += 1;
         let g = if self.partition_faults {
             let m = self.strategists[i].miner.0 as usize;
             self.config.faults.group_of(m, t)
@@ -898,7 +1052,10 @@ impl DelaySimulation {
     /// view of the `(a, h, fork, match_d)` state and consult the table.
     fn hear(&mut self, i: usize, block: BlockId, t: f64) {
         let Self {
-            tree, strategists, ..
+            tree,
+            strategists,
+            counters,
+            ..
         } = self;
         let s = &mut strategists[i];
         // Only a new best tip changes the MDP state; natural-fork losers
@@ -941,6 +1098,7 @@ impl DelaySimulation {
             // chain the epoch is lost: forced adopt. While we are still
             // strictly ahead, ignore it.
             if tip_h >= base_h + s.private.len() as u64 {
+                counters.forced_adopts += 1;
                 s.fork_base = block;
                 s.private.clear();
                 s.published_count = 0;
@@ -961,9 +1119,18 @@ impl DelaySimulation {
         let h = u32::try_from(s.h).unwrap_or(u32::MAX);
         match s.table.decide(a, h, s.fork, s.match_d) {
             Action::Wait => {}
-            Action::Adopt => self.strategic_adopt(i),
-            Action::Override => self.strategic_override(i, t),
-            Action::Match => self.strategic_match(i, t),
+            Action::Adopt => {
+                self.counters.adopts += 1;
+                self.strategic_adopt(i);
+            }
+            Action::Override => {
+                self.counters.overrides += 1;
+                self.strategic_override(i, t);
+            }
+            Action::Match => {
+                self.counters.matches += 1;
+                self.strategic_match(i, t);
+            }
         }
     }
 
@@ -1952,5 +2119,76 @@ mod tests {
         assert_eq!(r.report.block_count(), 20_000);
         let share = r.revenue_share(0);
         assert!((0.0..=1.0).contains(&share), "share {share}");
+    }
+
+    #[test]
+    fn counters_trace_a_zero_fault_run() {
+        let r = run(vec![0.5, 0.5], 4.0, RewardSchedule::ethereum(), 9);
+        let c = r.counters;
+        // Without crash faults every Poisson slot mines and every honest
+        // block is released; no fault path can fire.
+        assert_eq!(c.mining_events, 40_000);
+        assert_eq!(c.thinned_events, 0);
+        assert_eq!(c.released_blocks, 40_000);
+        assert_eq!(c.drops, 0);
+        assert_eq!(c.regossip_attempts, 0);
+        assert_eq!(c.duplicate_deliveries, 0);
+        assert_eq!(c.partition_stalls, 0);
+        assert_eq!(c.partition_heals, 0);
+        assert_eq!(c.crash_misses + c.crash_resyncs, 0);
+        assert!(c.deliveries > 0, "views promote released blocks");
+        assert_eq!(c.orphan_blocks, r.report.uncle_count + r.report.stale_count);
+    }
+
+    #[test]
+    fn counters_expose_fault_activity() {
+        let plan = FaultPlan::builder()
+            .loss(0.25)
+            .jitter(2.0)
+            .duplication(0.2)
+            .churn(2_000.0, 300.0)
+            .partition(13_000.0, 16_000.0, vec![0, 0, 1, 1])
+            .seed(5)
+            .build()
+            .unwrap();
+        let config = DelayConfig::builder()
+            .shares(vec![0.35, 0.25, 0.2, 0.2])
+            .policy(0, sm1_table(0.35, 0.5, 12))
+            .tie_gamma(0.5)
+            .delay(2.0)
+            .blocks(10_000)
+            .seed(23)
+            .schedule(RewardSchedule::bitcoin())
+            .faults(plan)
+            .build()
+            .unwrap();
+        let c = DelaySimulation::new(config).run().counters;
+        assert!(c.drops > 0, "25% loss must drop gossip");
+        assert_eq!(
+            c.regossip_attempts,
+            c.drops + c.partition_stalls,
+            "every drop or stall re-enqueues exactly one retry"
+        );
+        assert!(c.duplicate_deliveries > 0, "20% duplication fires");
+        assert!(c.partition_stalls > 0, "the split stalls cross-deliveries");
+        assert_eq!(c.partition_heals, 1, "one timed window closes once");
+        assert!(c.thinned_events > 0, "churn thins mining slots");
+        assert!(c.adopts + c.overrides + c.matches > 0, "policy acted");
+    }
+
+    #[test]
+    fn counters_merge_sums_fieldwise() {
+        let a = run(vec![0.5, 0.5], 4.0, RewardSchedule::ethereum(), 9).counters;
+        let b = run(vec![0.5, 0.5], 4.0, RewardSchedule::ethereum(), 10).counters;
+        let mut m = a;
+        m.merge(&b);
+        for (((key, av), (_, bv)), (_, mv)) in
+            a.entries().into_iter().zip(b.entries()).zip(m.entries())
+        {
+            assert_eq!(mv, av + bv, "{key}");
+        }
+        let mut shard = seleth_obs::TelemetryShard::new(0);
+        m.record_into(&mut shard);
+        assert_eq!(shard.counter("delay.mining_events"), 80_000);
     }
 }

@@ -13,6 +13,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use seleth_chain::Scenario;
+use seleth_obs::{NoopRecorder, Recorder, Stopwatch, TelemetryShard};
 
 use crate::config::SimConfig;
 use crate::engine::Simulation;
@@ -41,9 +42,33 @@ pub fn run_many(config: &SimConfig, runs: u64) -> Vec<SimReport> {
 ///
 /// Panics if a worker thread panics.
 pub fn run_many_with_threads(config: &SimConfig, runs: u64, threads: usize) -> Vec<SimReport> {
+    run_many_recorded(config, runs, threads, &NoopRecorder).0
+}
+
+/// As [`run_many_with_threads`], additionally returning one
+/// [`TelemetryShard`] per worker thread.
+///
+/// Each shard carries the worker's busy time, queue wait (time between
+/// finishing one run and starting the next, including thread startup),
+/// tasks claimed, and the deterministic scheduler counters `sim.runs`,
+/// `sim.blocks`, `sim.engine_builds` and `sim.engine_reuses`. Counter
+/// *totals* over all shards are bit-identical for every thread count
+/// (each run contributes fixed deltas; only their grouping varies);
+/// per-worker timing is a wall-clock measurement with no such guarantee.
+/// When `recorder` is enabled, one `"run"` span per simulation is emitted.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics.
+pub fn run_many_recorded(
+    config: &SimConfig,
+    runs: u64,
+    threads: usize,
+    recorder: &dyn Recorder,
+) -> (Vec<SimReport>, Vec<TelemetryShard>) {
     let base = config.seed();
     if runs == 0 {
-        return Vec::new();
+        return (Vec::new(), Vec::new());
     }
     let threads = if threads == 0 {
         std::thread::available_parallelism().map_or(4, |n| n.get())
@@ -53,70 +78,85 @@ pub fn run_many_with_threads(config: &SimConfig, runs: u64, threads: usize) -> V
     .min(usize::try_from(runs).unwrap_or(usize::MAX))
     .max(1);
 
-    if threads == 1 {
+    // One worker body shared by the sequential and parallel paths, so the
+    // engine-reuse discipline and telemetry accounting cannot drift apart.
+    let work = |worker: usize, next: &AtomicU64| -> (Vec<(u64, SimReport)>, TelemetryShard) {
+        let mut shard = TelemetryShard::new(worker);
+        let mut produced: Vec<(u64, SimReport)> = Vec::new();
         let mut engine: Option<Simulation> = None;
-        return (0..runs)
-            .map(|k| {
-                let run_config = config.with_seed(base + k);
-                match engine.as_mut() {
-                    Some(sim) => {
-                        sim.reset(run_config);
-                        sim.run_in_place()
-                    }
-                    None => {
-                        let mut sim = Simulation::new(run_config);
-                        let report = sim.run_in_place();
-                        engine = Some(sim);
-                        report
-                    }
+        let mut idle = Stopwatch::start();
+        loop {
+            let k = next.fetch_add(1, Ordering::Relaxed);
+            if k >= runs {
+                break;
+            }
+            shard.queue_wait_ns += idle.elapsed_ns();
+            let busy = Stopwatch::start();
+            let span_start = if recorder.enabled() {
+                recorder.now_ns()
+            } else {
+                0
+            };
+            let run_config = config.with_seed(base + k);
+            let report = match engine.as_mut() {
+                Some(sim) => {
+                    shard.add("sim.engine_reuses", 1);
+                    sim.reset(run_config);
+                    sim.run_in_place()
                 }
-            })
-            .collect();
+                None => {
+                    shard.add("sim.engine_builds", 1);
+                    let mut sim = Simulation::new(run_config);
+                    let report = sim.run_in_place();
+                    engine = Some(sim);
+                    report
+                }
+            };
+            shard.tasks += 1;
+            shard.busy_ns += busy.elapsed_ns();
+            shard.add("sim.runs", 1);
+            shard.add("sim.blocks", config.blocks());
+            if recorder.enabled() {
+                recorder.span("run", worker, span_start, recorder.now_ns());
+            }
+            produced.push((k, report));
+            idle = Stopwatch::start();
+        }
+        (produced, shard)
+    };
+
+    if threads == 1 {
+        let next = AtomicU64::new(0);
+        let (produced, shard) = work(0, &next);
+        return (produced.into_iter().map(|(_, r)| r).collect(), vec![shard]);
     }
 
     let next = AtomicU64::new(0);
     let mut reports: Vec<Option<SimReport>> = (0..runs).map(|_| None).collect();
+    let mut shards: Vec<TelemetryShard> = Vec::with_capacity(threads);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
-            .map(|_| {
+            .map(|worker| {
                 let next = &next;
-                scope.spawn(move || {
-                    let mut produced: Vec<(u64, SimReport)> = Vec::new();
-                    let mut engine: Option<Simulation> = None;
-                    loop {
-                        let k = next.fetch_add(1, Ordering::Relaxed);
-                        if k >= runs {
-                            break;
-                        }
-                        let run_config = config.with_seed(base + k);
-                        let report = match engine.as_mut() {
-                            Some(sim) => {
-                                sim.reset(run_config);
-                                sim.run_in_place()
-                            }
-                            None => {
-                                let mut sim = Simulation::new(run_config);
-                                let report = sim.run_in_place();
-                                engine = Some(sim);
-                                report
-                            }
-                        };
-                        produced.push((k, report));
-                    }
-                    produced
-                })
+                let work = &work;
+                scope.spawn(move || work(worker, next))
             })
             .collect();
         for handle in handles {
-            for (k, report) in handle.join().expect("simulation worker panicked") {
+            let (produced, shard) = handle.join().expect("simulation worker panicked");
+            for (k, report) in produced {
                 reports[usize::try_from(k).expect("run index fits usize")] = Some(report);
             }
+            shards.push(shard);
         }
     });
-    reports
-        .into_iter()
-        .map(|r| r.expect("all slots filled"))
-        .collect()
+    (
+        reports
+            .into_iter()
+            .map(|r| r.expect("all slots filled"))
+            .collect(),
+        shards,
+    )
 }
 
 /// Mean and sample standard deviation of a metric over several runs.
@@ -269,6 +309,36 @@ mod tests {
             assert_eq!(a.reward_report.regular_count, b.reward_report.regular_count);
             assert_eq!(a.state_visits, b.state_visits);
         }
+    }
+
+    #[test]
+    fn recorded_counter_totals_are_thread_invariant() {
+        let c = config(1_000);
+        let total = |threads: usize| {
+            let (reports, shards) = run_many_recorded(&c, 6, threads, &seleth_obs::NoopRecorder);
+            assert_eq!(reports.len(), 6);
+            let merged = seleth_obs::Telemetry::merge_shards(&shards);
+            (
+                merged.counter("sim.runs"),
+                merged.counter("sim.blocks"),
+                merged.counter("sim.engine_builds") + merged.counter("sim.engine_reuses"),
+            )
+        };
+        let reference = total(1);
+        assert_eq!(reference, (6, 6_000, 6));
+        for threads in [2, 3, 8] {
+            assert_eq!(total(threads), reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn recorded_spans_cover_every_run() {
+        let c = config(500);
+        let log = seleth_obs::TraceLog::new();
+        let (_, shards) = run_many_recorded(&c, 3, 2, &log);
+        assert_eq!(log.events().len(), 3);
+        let tasks: u64 = shards.iter().map(|s| s.tasks).sum();
+        assert_eq!(tasks, 3);
     }
 
     #[test]

@@ -34,9 +34,11 @@
 use std::fmt::Write as _;
 
 use seleth_bench::json_f64;
-use seleth_chain::{RewardSchedule, Scenario};
+use seleth_bench::report::{gate_tolerance, replay_revenue, trace_arg, write_trace};
+use seleth_chain::RewardSchedule;
 use seleth_mdp::{PolicyTable, RewardModel};
-use seleth_sim::delay::{DelayConfig, DelaySimulation};
+use seleth_obs::{NoopRecorder, Recorder, Stopwatch, Telemetry, TelemetryShard, TraceLog};
+use seleth_sim::delay::DelayConfig;
 use seleth_sim::{pools, FaultPlan};
 use seleth_zoo::Family;
 
@@ -156,7 +158,9 @@ struct CellResult {
 }
 
 /// One evaluated cell: `runs` independent seeds, fault schedule re-seeded
-/// alongside the simulation seed.
+/// alongside the simulation seed, through the shared replay loop. The
+/// runs' deterministic engine counters fold into the worker's telemetry
+/// shard.
 fn eval_cell(
     strategy: &Strategy,
     shares: &[f64],
@@ -164,16 +168,14 @@ fn eval_cell(
     runs: u64,
     blocks: u64,
     fault_seed: u64,
+    shard: &mut TelemetryShard,
 ) -> CellResult {
     // Generous horizon for the partition schedule: mean mining time plus
     // slack (windows beyond the actual end are simply never reached).
     let horizon = 2.0 * blocks as f64 * INTERVAL;
     let plan = cell.plan(shares.len(), horizon, fault_seed);
-    let mut revenues = Vec::with_capacity(runs as usize);
-    let mut orphans = 0.0;
-    let mut mined = 0.0;
-    for k in 0..runs {
-        let run_config = DelayConfig::builder()
+    let outcome = replay_revenue(runs, 1, |k| {
+        DelayConfig::builder()
             .shares(shares.to_vec())
             .policy(0, strategy.table.clone())
             .tie_gamma(strategy.gamma)
@@ -184,23 +186,29 @@ fn eval_cell(
             .seed(SEED + k)
             .faults(plan.with_seed(fault_seed + k))
             .build()
-            .expect("valid chaos config");
-        let report = DelaySimulation::new(run_config).run();
-        revenues.push(report.absolute_revenue(0, Scenario::RegularRate));
-        orphans += report.orphan_rate();
-        mined += report.report.block_count() as f64 / blocks as f64;
-    }
-    let (mean, std_err) = seleth_bench::mean_stderr(&revenues);
+            .expect("valid chaos config")
+    });
+    outcome.counters.record_into(shard);
+    shard.add("study.runs", runs);
     CellResult {
-        mean,
-        std_err,
-        orphan_rate: orphans / runs as f64,
-        mined_fraction: mined / runs as f64,
+        mean: outcome.mean(),
+        std_err: outcome.std_err(),
+        orphan_rate: outcome.orphan_rate,
+        mined_fraction: outcome.mined_fraction,
     }
 }
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let trace_path = trace_arg();
+    let trace = TraceLog::new();
+    let recorder: &dyn Recorder = if trace_path.is_some() {
+        &trace
+    } else {
+        &NoopRecorder
+    };
+    let wall = Stopwatch::start();
+    let mut telemetry = Telemetry::new();
     let runs = seleth_bench::env_u64("SELETH_RUNS", if smoke { 2 } else { 4 });
     let blocks = seleth_bench::env_u64("SELETH_BLOCKS", if smoke { 6_000 } else { 30_000 });
     let max_len = u32::try_from(seleth_bench::env_u64("SELETH_MDP_LEN", 30)).unwrap_or(30);
@@ -273,9 +281,15 @@ fn main() {
         for (split_name, shares) in splits {
             // Grid cells in parallel through the shared work-queue
             // helper; results are bit-identical for every thread count.
-            let results = seleth_bench::par_map(&cells, 0, |cell| {
-                eval_cell(strategy, shares, cell, runs, blocks, fault_seed)
-            });
+            let sweep = Stopwatch::start();
+            let (results, shards) =
+                seleth_bench::par_map_traced(&cells, 0, recorder, |cell, shard| {
+                    eval_cell(strategy, shares, cell, runs, blocks, fault_seed, shard)
+                });
+            telemetry.add_phase("sweep", sweep.elapsed_ns());
+            for shard in &shards {
+                telemetry.fold_shard(shard);
+            }
             for (cell, r) in cells.iter().zip(&results) {
                 println!(
                     "{:>20} {:>9} {:>22} {:>9.5} {:>9.5} {:>+9.5} {:>8.4} {:>7.4}",
@@ -296,11 +310,7 @@ fn main() {
                 let anchor = &results[0];
                 assert!(cells[0].zero_fault() && cells[0].delay == 0.0);
                 let diff = (anchor.mean - strategy.rho).abs();
-                let tolerance = if smoke {
-                    (4.0 * anchor.std_err).max(0.05)
-                } else {
-                    (3.0 * anchor.std_err).max(0.01)
-                };
+                let tolerance = gate_tolerance(smoke, anchor.std_err);
                 if diff > tolerance {
                     eprintln!(
                         "FAIL {}: anchor revenue {:.5} vs rho* {:.5} exceeds \
@@ -363,14 +373,20 @@ fn main() {
          \"blocks\": {blocks},\n  \"fault_seed\": {fault_seed},\n  \
          \"churn_mean_uptime\": {},\n  \"churn_mean_downtime\": {},\n  \
          \"partition_every\": {},\n  \"partition_len\": {},\n  \
-         \"series\": [\n{}\n  ]\n}}\n",
+         \"series\": [\n{}\n  ],\n  \"telemetry\": {}\n}}\n",
         json_f64(INTERVAL),
         json_f64(DELAY),
         json_f64(CHURN_UPTIME),
         json_f64(CHURN_DOWNTIME),
         json_f64(PARTITION_EVERY),
         json_f64(PARTITION_LEN),
-        series_json.join(",\n")
+        series_json.join(",\n"),
+        {
+            telemetry.wall_ns = wall.elapsed_ns();
+            telemetry.threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+            telemetry.set_gauge("host.available_parallelism", telemetry.threads as f64);
+            telemetry.to_json(2)
+        }
     );
     let out_name = if smoke {
         "chaos_study_smoke.json"
@@ -386,6 +402,7 @@ fn main() {
     println!("cells whether the advantage collapses or degrades when the network");
     println!("itself fails. 'mined' < 1 under churn: crashed hash power thins out.");
     println!("wrote {}", path.display());
+    write_trace(&trace, trace_path.as_ref());
 
     if failed {
         eprintln!("FAIL: a gated anchor cell disagrees with its recorded rho*");

@@ -42,7 +42,9 @@
 use std::fmt::Write as _;
 
 use seleth_bench::json_f64;
+use seleth_bench::report::{gate_tolerance, trace_arg, write_trace};
 use seleth_mdp::{MdpConfig, PolicyTable, RewardModel};
+use seleth_obs::{NoopRecorder, Recorder, Stopwatch, Telemetry, TraceLog};
 use seleth_sim::pools;
 use seleth_zoo::{
     sm1_closed_form, Cell, CellResult, Family, StrategyRegistry, Tournament, TournamentConfig,
@@ -95,6 +97,15 @@ struct Meta {
 #[allow(clippy::too_many_lines)]
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let trace_path = trace_arg();
+    let trace = TraceLog::new();
+    let recorder: &dyn Recorder = if trace_path.is_some() {
+        &trace
+    } else {
+        &NoopRecorder
+    };
+    let wall = Stopwatch::start();
+    let mut telemetry = Telemetry::new();
     let runs = seleth_bench::env_u64("SELETH_RUNS", if smoke { 3 } else { 8 });
     let blocks = seleth_bench::env_u64("SELETH_BLOCKS", if smoke { 8_000 } else { 30_000 });
     let mdp_len = u32::try_from(seleth_bench::env_u64("SELETH_MDP_LEN", 30)).unwrap_or(30);
@@ -217,7 +228,12 @@ fn main() {
     // ------------------------------------------------------------------
     // Run (parallel across cells) and rank within (point, split, delay).
     // ------------------------------------------------------------------
-    let results = tournament.run();
+    let sweep = Stopwatch::start();
+    let (results, shards) = tournament.run_traced(recorder);
+    telemetry.add_phase("tournament", sweep.elapsed_ns());
+    for shard in &shards {
+        telemetry.fold_shard(shard);
+    }
     assert_eq!(results.len(), metas.len(), "meta list tracks the grid");
     let mut rank: Vec<usize> = vec![0; results.len()];
     {
@@ -312,11 +328,7 @@ fn main() {
         let sm1 = zero_duopoly("sm1", p.artifact).expect("sm1 zero-delay duopoly cell");
         let cf = sm1_closed_form(p.alpha, p.gamma);
         let (mean, se) = (sm1.lead_revenue(), sm1.strategists[0].std_err);
-        let tol = if smoke {
-            (4.0 * se).max(0.05)
-        } else {
-            (3.0 * se).max(0.01)
-        };
+        let tol = gate_tolerance(smoke, se);
         if (mean - cf).abs() > tol {
             eprintln!(
                 "FAIL sm1@{}: zero-delay revenue {mean:.5} vs closed form {cf:.5} \
@@ -440,12 +452,17 @@ fn main() {
         s.push_str("\n      ]\n    }");
         cells_json.push(s);
     }
+    telemetry.wall_ns = wall.elapsed_ns();
+    telemetry.threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    telemetry.set_gauge("host.available_parallelism", telemetry.threads as f64);
     let json = format!(
         "{{\n  \"kind\": \"seleth-zoo-study\",\n  \"format\": 1,\n  \
          \"interval\": {},\n  \"runs\": {runs},\n  \"blocks\": {blocks},\n  \
-         \"family_truncation\": {zoo_len},\n  \"cells\": [\n{}\n  ]\n}}\n",
+         \"family_truncation\": {zoo_len},\n  \"cells\": [\n{}\n  ],\n  \
+         \"telemetry\": {}\n}}\n",
         json_f64(INTERVAL),
-        cells_json.join(",\n")
+        cells_json.join(",\n"),
+        telemetry.to_json(2)
     );
     let out_name = if smoke {
         "zoo_study_smoke.json"
@@ -461,6 +478,7 @@ fn main() {
     println!("artifact, the fair share alpha elsewhere. Matchup cells field two");
     println!("strategists in one run; their revenues are per-miner.");
     println!("wrote {}", path.display());
+    write_trace(&trace, trace_path.as_ref());
 
     if failed {
         eprintln!("FAIL: a zoo gate disagrees with its prediction");

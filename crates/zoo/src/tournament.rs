@@ -17,9 +17,10 @@
 //! bit-identical for every thread count, and heterogeneous cell costs
 //! stay load-balanced.
 
-use seleth_chain::{RewardSchedule, Scenario};
+use seleth_bench::report::replay_revenue;
+use seleth_chain::RewardSchedule;
 use seleth_mdp::RewardModel;
-use seleth_sim::delay::{DelayConfig, DelaySimulation, MinerStrategy};
+use seleth_sim::delay::{DelayConfig, DelayCounters, MinerStrategy};
 
 use crate::registry::StrategyRegistry;
 
@@ -143,6 +144,9 @@ pub struct CellResult {
     pub strategists: Vec<StrategistOutcome>,
     /// Mean system-wide orphan rate across repetitions.
     pub orphan_rate: f64,
+    /// Deterministic delay-engine counters summed over the cell's
+    /// repetitions (bit-identical at any thread count).
+    pub counters: DelayCounters,
 }
 
 impl CellResult {
@@ -205,7 +209,28 @@ impl<'r> Tournament<'r> {
     /// distribution) — tournament grids are experiment code with no
     /// recovery path.
     pub fn run(&self) -> Vec<CellResult> {
-        seleth_bench::par_map(&self.cells, self.config.threads, |cell| self.eval(cell))
+        self.run_traced(&seleth_obs::NoopRecorder).0
+    }
+
+    /// [`Tournament::run`] with per-worker telemetry: cells sweep through
+    /// `seleth_bench::par_map_traced`, each worker folding its cells'
+    /// deterministic engine counters into a shard. Cell results are
+    /// bit-identical to [`Tournament::run`]; shard counter totals merge
+    /// to the same values at any thread count.
+    ///
+    /// # Panics
+    ///
+    /// As [`Tournament::run`].
+    pub fn run_traced(
+        &self,
+        recorder: &dyn seleth_obs::Recorder,
+    ) -> (Vec<CellResult>, Vec<seleth_obs::TelemetryShard>) {
+        seleth_bench::par_map_traced(&self.cells, self.config.threads, recorder, |cell, shard| {
+            let result = self.eval(cell);
+            result.counters.record_into(shard);
+            shard.add("study.runs", self.config.runs);
+            result
+        })
     }
 
     fn eval(&self, cell: &Cell) -> CellResult {
@@ -237,31 +262,21 @@ impl<'r> Tournament<'r> {
             .build()
             .expect("valid tournament cell");
 
-        let n = entries.len();
-        let mut revenues: Vec<Vec<f64>> = vec![Vec::with_capacity(self.config.runs as usize); n];
-        let mut orphans = 0.0;
-        for k in 0..self.config.runs {
-            let report = DelaySimulation::new(config.with_seed(self.config.seed + k)).run();
-            for (slot, samples) in revenues.iter_mut().enumerate() {
-                samples.push(report.absolute_revenue(slot, Scenario::RegularRate));
-            }
-            orphans += report.orphan_rate();
-        }
+        let outcome = replay_revenue(self.config.runs, entries.len(), |k| {
+            config.with_seed(self.config.seed + k)
+        });
 
         let strategists = entries
             .iter()
-            .zip(revenues.iter())
+            .zip(outcome.slots.iter())
             .enumerate()
-            .map(|(slot, (entry, samples))| {
-                let (mean, std_err) = seleth_bench::mean_stderr(samples);
-                StrategistOutcome {
-                    name: entry.name.clone(),
-                    family: entry.table.family().to_string(),
-                    share: cell.shares[slot],
-                    predicted: entry.predicted,
-                    revenue: mean,
-                    std_err,
-                }
+            .map(|(slot, (entry, &(mean, std_err)))| StrategistOutcome {
+                name: entry.name.clone(),
+                family: entry.table.family().to_string(),
+                share: cell.shares[slot],
+                predicted: entry.predicted,
+                revenue: mean,
+                std_err,
             })
             .collect();
         CellResult {
@@ -269,7 +284,8 @@ impl<'r> Tournament<'r> {
             delay: cell.delay,
             tie_gamma: cell.tie_gamma,
             strategists,
-            orphan_rate: orphans / self.config.runs as f64,
+            orphan_rate: outcome.orphan_rate,
+            counters: outcome.counters,
         }
     }
 }

@@ -23,6 +23,11 @@
 //! - [`zoo`] (`seleth-zoo`) — the strategy zoo: parametric hand-written
 //!   strategy families (SM1, stubborn variants) lowered into policy
 //!   artifacts, plus a parallel multi-strategist tournament harness.
+//! - [`obs`] (`seleth-obs`) — zero-dependency telemetry: the [`Recorder`]
+//!   trait (no-op by default), per-worker shards with deterministic
+//!   merges, and the study-profile renderer behind `perf_report`.
+//!
+//! [`Recorder`]: obs::Recorder
 //!
 //! # The paper in one example
 //!
@@ -59,6 +64,7 @@ pub use seleth_chain as chain;
 pub use seleth_core as core;
 pub use seleth_markov as markov;
 pub use seleth_mdp as mdp;
+pub use seleth_obs as obs;
 pub use seleth_sim as sim;
 pub use seleth_zoo as zoo;
 
@@ -71,9 +77,12 @@ pub mod prelude {
     pub use seleth_core::threshold::{profitability_threshold, ThresholdOptions};
     pub use seleth_core::{Analysis, AnalysisError, ModelParams, RevenueBreakdown, State};
     pub use seleth_mdp::{
-        Action, Fork, MdpConfig, PolicyTable, RewardModel, StateSpace, MATCH_D_CAP,
+        Action, Fork, MdpConfig, PolicyTable, RewardModel, SolveStats, StateSpace, MATCH_D_CAP,
     };
-    pub use seleth_sim::delay::{DelayConfig, DelayReport, DelaySimulation, MinerStrategy};
+    pub use seleth_obs::{NoopRecorder, Recorder, Stopwatch, Telemetry, TelemetryShard, TraceLog};
+    pub use seleth_sim::delay::{
+        DelayConfig, DelayCounters, DelayReport, DelaySimulation, MinerStrategy,
+    };
     pub use seleth_sim::{
         multi, FaultPlan, FaultPlanBuilder, PoolStrategy, SimConfig, SimReport, Simulation,
     };

@@ -162,6 +162,66 @@ fn state_space_descriptors_flow_through_the_prelude() {
 }
 
 #[test]
+fn telemetry_types_flow_through_the_prelude() {
+    // The observability layer end to end through the facade: a recorded
+    // parallel sweep, deterministic counter totals, a trace, and the
+    // profile renderer.
+    let config = SimConfig::builder()
+        .alpha(0.3)
+        .blocks(2_000)
+        .seed(7)
+        .build()
+        .unwrap();
+    let trace = TraceLog::new();
+    let recorder: &dyn Recorder = &trace;
+    let (reports, shards) =
+        selfish_ethereum::sim::multi::run_many_recorded(&config, 4, 2, recorder);
+    assert_eq!(reports.len(), 4);
+    assert_eq!(trace.len(), 4, "one span per recorded run");
+
+    let mut merged = Telemetry::merge_shards(&shards);
+    assert_eq!(merged.counter("sim.runs"), 4);
+    assert_eq!(merged.counter("sim.blocks"), 8_000);
+
+    // The no-op recorder produces bit-identical results.
+    let (baseline, _) =
+        selfish_ethereum::sim::multi::run_many_recorded(&config, 4, 1, &NoopRecorder);
+    let revenue = |rs: &[SimReport]| -> Vec<f64> {
+        rs.iter()
+            .map(|r| r.absolute_pool(Scenario::RegularRate))
+            .collect()
+    };
+    assert_eq!(revenue(&reports), revenue(&baseline));
+
+    // Shards from a DelayCounters run fold into the same summary type.
+    let delay_config = DelayConfig::builder()
+        .shares(vec![0.3, 0.7])
+        .tie_gamma(0.5)
+        .delay(2.0)
+        .blocks(1_000)
+        .seed(11)
+        .build()
+        .unwrap();
+    let report = DelaySimulation::new(delay_config).run();
+    let counters: DelayCounters = report.counters;
+    let mut shard = TelemetryShard::new(0);
+    counters.record_into(&mut shard);
+    merged.fold_shard(&shard);
+    assert_eq!(merged.counter("delay.mining_events"), 1_000);
+
+    // A stopwatch ticks and the summary renders through the profiler.
+    let watch = Stopwatch::start();
+    merged.wall_ns = watch.elapsed_ns().max(1);
+    let doc = format!(
+        "{{\"kind\": \"facade-test\", \"telemetry\": {}}}",
+        merged.to_json(0)
+    );
+    let rendered = selfish_ethereum::obs::render_profile("facade", &doc).unwrap();
+    assert!(rendered.contains("facade"));
+    assert!(rendered.contains("sim.runs"));
+}
+
+#[test]
 fn error_types_are_std_errors() {
     fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
     assert_error::<AnalysisError>();

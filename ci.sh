@@ -39,6 +39,14 @@ echo "==> optimal_delay smoke gate (strategic delay path)"
 SELETH_RESULTS="$(mktemp -d)" SELETH_POLICIES=results/policies \
     cargo run --release -q -p seleth-bench --bin optimal_delay -- --smoke
 
+echo "==> optimal_closed_loop smoke gate (race-window artifacts vs the zero-delay optimum)"
+# Replays the committed truncation-200 delay-aware artifact against the
+# zero-delay baseline at its design delay, small budgets, loosened
+# tolerance. Reads committed artifacts (no solving in CI); output goes to
+# a scratch dir.
+SELETH_RESULTS="$(mktemp -d)" SELETH_POLICIES=results/policies \
+    cargo run --release -q -p seleth-bench --bin optimal_closed_loop -- --smoke
+
 echo "==> strategy_zoo smoke gate (zoo tournament + multi-strategist matchups)"
 # One (α, γ) point, duopoly split, two delays, one matchup cell, small
 # budgets; gates SM1 against its closed form and the optimal artifact

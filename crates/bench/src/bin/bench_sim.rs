@@ -248,7 +248,22 @@ fn main() {
             .iter()
             .map(|(_, s, _)| *s)
             .fold(f64::INFINITY, f64::min);
-    println!("run_many_speedup    best {speedup_max:.2}x over 1 thread");
+    // The speedup number only measures the scheduler when the host can
+    // actually run workers concurrently. On a single-core host (the
+    // current CI box) every worker time-slices one CPU, ≈1.0x is the
+    // *expected* healthy reading, and the field must not be misread as a
+    // scheduler regression — so it is annotated with a validity flag tied
+    // to the recorded `host.available_parallelism` gauge.
+    let host_parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let speedup_valid = host_parallelism > 1;
+    if speedup_valid {
+        println!("run_many_speedup    best {speedup_max:.2}x over 1 thread");
+    } else {
+        println!(
+            "run_many_speedup    best {speedup_max:.2}x over 1 thread \
+             (NOT meaningful: host has 1 CPU; workers time-slice it)"
+        );
+    }
 
     // --- Emit BENCH_sim.json ---
     let mut json = String::from("{\n");
@@ -277,9 +292,10 @@ fn main() {
         );
     }
     field("run_many_speedup_max", format!("{speedup_max:.3}"));
+    field("run_many_speedup_valid", speedup_valid.to_string());
     field("reps", reps.to_string());
     telemetry.wall_ns = wall.elapsed_ns();
-    telemetry.threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    telemetry.threads = host_parallelism;
     telemetry.set_gauge("host.available_parallelism", telemetry.threads as f64);
     // Trailing field without comma.
     let _ = write!(json, "  \"telemetry\": {}\n}}\n", telemetry.to_json(2));

@@ -14,7 +14,10 @@
 //! - `mdp_solve_reexpand_ms`: the legacy behaviour (re-expansion and a
 //!   cold-started value function per ρ candidate) on the same MDP;
 //! - `mdp_expansion_reuse_speedup`: the ratio of the two — the
-//!   acceptance gate for the single-expansion layout is ≥ 2×.
+//!   acceptance gate for the single-expansion layout is ≥ 2×;
+//! - `mdp_scaling`: cold solve times at truncation 60 / 120 / 200 (one
+//!   repetition each) — the tiled-sweep scaling record behind the
+//!   truncation-200 delay-aware artifacts.
 //!
 //! The JSON ends with a `"telemetry"` block carrying the Dinkelbach
 //! solver's instrumentation (bisection count, sweeps per ρ iterate,
@@ -149,6 +152,34 @@ fn main() {
         slow.iterations
     );
 
+    // --- MDP truncation scaling: the tiled Bellman layout at 200+ ---
+    // One cold solve per truncation (single repetition: the large solves
+    // dominate the bin's runtime), recording the wall-clock growth of the
+    // flat layout up to the delay-study truncation of 200.
+    let mut scaling_rows = Vec::new();
+    for &truncation in &[60u32, 120, 200] {
+        let config = MdpConfig::new(0.35, 0.5, RewardModel::Bitcoin).with_max_len(truncation);
+        let span_start = recorder.now_ns();
+        let (solve_s, solution) = best_of(1, || config.solve().expect("mdp solve"));
+        if recorder.enabled() {
+            recorder.span("mdp_scaling", 0, span_start, recorder.now_ns());
+        }
+        telemetry.add_phase("mdp_scaling", (solve_s * 1e9) as u64);
+        println!(
+            "mdp_scaling         len {truncation}: {:.1} ms ({} sweeps, ρ* {:.5})",
+            solve_s * 1e3,
+            solution.iterations,
+            solution.revenue
+        );
+        scaling_rows.push(format!(
+            "{{\"truncation\": {truncation}, \"solve_ms\": {:.3}, \"sweeps\": {}, \
+             \"revenue\": {:.9}}}",
+            solve_s * 1e3,
+            solution.iterations,
+            solution.revenue
+        ));
+    }
+
     // --- Emit BENCH_solver.json ---
     let mut json = String::from("{\n");
     let mut field = |key: &str, value: String| {
@@ -165,6 +196,10 @@ fn main() {
     field("mdp_solve_reexpand_ms", format!("{:.3}", slow_s * 1e3));
     field("mdp_solve_reexpand_sweeps", slow.iterations.to_string());
     field("mdp_expansion_reuse_speedup", format!("{speedup:.3}"));
+    field(
+        "mdp_scaling",
+        format!("[\n    {}\n  ]", scaling_rows.join(",\n    ")),
+    );
     field("reps", reps.to_string());
     field("revenue_check", format!("{:.9}", fast.revenue));
     telemetry.wall_ns = wall.elapsed_ns();

@@ -20,11 +20,12 @@
 use std::path::PathBuf;
 
 /// Study JSONs probed in the results directory when no files are named.
-const DEFAULT_STUDIES: [&str; 6] = [
+const DEFAULT_STUDIES: [&str; 7] = [
     "BENCH_sim.json",
     "BENCH_solver.json",
     "optimal_sim.json",
     "delay_study.json",
+    "optimal_closed_loop.json",
     "zoo_study.json",
     "chaos_study.json",
 ];

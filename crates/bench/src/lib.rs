@@ -24,6 +24,7 @@
 //! | `optimal_sim` | Exported optimal policies replayed in the simulator, gated vs ρ* |
 //! | `delay`       | Propagation-delay sensitivity of the simulator (all honest) |
 //! | `optimal_delay` | Optimal artifacts replayed *under delay*: ρ* degradation study (`delay_study.json`) |
+//! | `optimal_closed_loop` | Race-window (delay-aware) artifacts vs the zero-delay optimum under delay, gated (`optimal_closed_loop.json`) |
 //! | `strategy_zoo` | Hand-written strategy families vs the optimum, incl. multi-strategist matchups (`zoo_study.json`; lives in `seleth-zoo`) |
 //! | `chaos_study` | Strategic replay under injected faults: loss × churn × partition grid (`chaos_study.json`; lives in `seleth-zoo`) |
 //! | `ablation_truncation` | Model-truncation bias ablation |
@@ -83,6 +84,25 @@ pub fn load_or_solve_policy(
     rewards: seleth_mdp::RewardModel,
     max_len: u32,
 ) -> seleth_mdp::PolicyTable {
+    load_or_solve_policy_delay(name, alpha, gamma, rewards, max_len, 0.0)
+}
+
+/// [`load_or_solve_policy`] for delay-aware artifacts: the solve runs on
+/// the race-window kernel at `delay_ratio` (propagation delay / mean
+/// block interval; `0.0` is exactly the classic kernel) and a cached
+/// file must additionally match the requested ratio to be returned.
+///
+/// # Panics
+///
+/// As [`load_or_solve_policy`].
+pub fn load_or_solve_policy_delay(
+    name: &str,
+    alpha: f64,
+    gamma: f64,
+    rewards: seleth_mdp::RewardModel,
+    max_len: u32,
+    delay_ratio: f64,
+) -> seleth_mdp::PolicyTable {
     let path = policies_dir().join(format!("{name}.json"));
     let mut save_solved = true;
     if let Ok(table) = seleth_mdp::PolicyTable::load(&path) {
@@ -90,6 +110,7 @@ pub fn load_or_solve_policy(
             && table.gamma() == gamma
             && table.rewards() == rewards
             && table.max_len() == max_len
+            && table.delay() == delay_ratio
         {
             return table;
         }
@@ -98,7 +119,9 @@ pub fn load_or_solve_policy(
     } else {
         eprintln!("  (artifact {name} missing; solving)");
     }
-    let config = seleth_mdp::MdpConfig::new(alpha, gamma, rewards).with_max_len(max_len);
+    let config = seleth_mdp::MdpConfig::new(alpha, gamma, rewards)
+        .with_max_len(max_len)
+        .with_delay_ratio(delay_ratio);
     let solution = config.solve().expect("mdp solve");
     let table = seleth_mdp::PolicyTable::from_solution(&config, &solution);
     if save_solved {

@@ -46,4 +46,4 @@ mod solver;
 
 pub use model::{Action, Fork, MdpConfig, MdpError, MdpState, RewardModel, MATCH_D_CAP};
 pub use policy::{PolicyError, PolicyTable, StateSpace};
-pub use solver::{Policy, Solution, SolveStats};
+pub use solver::{Policy, Solution, SolveStats, ValueCache};

@@ -208,6 +208,11 @@ pub enum MdpError {
         /// The rejected value.
         tolerance: f64,
     },
+    /// `delay_ratio` must be a finite non-negative number.
+    InvalidDelay {
+        /// The rejected value.
+        delay_ratio: f64,
+    },
     /// Value iteration or the Dinkelbach bisection exhausted its iteration
     /// budget. Carries the ρ bracket reached and the sweeps spent, so a
     /// caller can see how close the solve got before giving up.
@@ -232,6 +237,12 @@ impl fmt::Display for MdpError {
             }
             MdpError::InvalidTolerance { tolerance } => {
                 write!(f, "tolerances must be positive finite, got {tolerance}")
+            }
+            MdpError::InvalidDelay { delay_ratio } => {
+                write!(
+                    f,
+                    "delay_ratio must be finite and non-negative, got {delay_ratio}"
+                )
             }
             MdpError::NoConvergence {
                 rho_lo,
@@ -269,6 +280,14 @@ pub struct MdpConfig {
     /// attacker is forced to resolve (adopt/override); bias is
     /// `O((α/β)^max_len)`.
     pub max_len: u32,
+    /// Propagation delay as a fraction of the mean block interval
+    /// (`delay / interval`). Zero (the default) reproduces the classic
+    /// zero-delay kernel exactly; a positive ratio folds a race-loss
+    /// probability into every release action: honest blocks mined during
+    /// the propagation window extend the stale public tip, so an
+    /// *override* can be out-raced and a *match* reaches only the honest
+    /// miners it beats to the wire (see [`MdpConfig::with_delay_ratio`]).
+    pub delay_ratio: f64,
     /// Span tolerance for relative value iteration.
     pub tolerance: f64,
     /// Bisection tolerance on the optimal revenue.
@@ -288,10 +307,36 @@ impl MdpConfig {
             rewards,
             scenario: Scenario::RegularRate,
             max_len: 60,
+            delay_ratio: 0.0,
             tolerance: 1e-9,
             rho_tolerance: 1e-6,
             threads: 0,
         }
+    }
+
+    /// Override the propagation-delay ratio (`delay / interval`).
+    ///
+    /// The race-window model matches the propagation-delay simulator's
+    /// semantics: while a release propagates, honest mining continues on
+    /// the stale public tip at rate `β`, so the number of honest race
+    /// blocks in one window is Poisson with mean `λ = β · delay_ratio`.
+    /// An *override* (published lead of exactly one block) then loses the
+    /// epoch with probability
+    ///
+    /// ```text
+    /// loss = P(1 race block) · (1 − (α + γβ)) + P(≥ 2 race blocks)
+    /// ```
+    ///
+    /// — one race block forces a tie the attacker wins only if the next
+    /// block lands on its branch (`α + γβ`, the engine's tie semantics),
+    /// two or more mean the honest chain is already longer. A *match*
+    /// splits the honest miners only when no race block beats the
+    /// matching prefix to the wire, shrinking the effective tie-breaking
+    /// power to `γ · e^{−λ}`; an established race (*wait* on an active
+    /// fork) keeps the full `γ`, both branches being public already.
+    pub fn with_delay_ratio(mut self, delay_ratio: f64) -> Self {
+        self.delay_ratio = delay_ratio;
+        self
     }
 
     /// Override the truncation length.
@@ -311,6 +356,26 @@ impl MdpConfig {
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self
+    }
+
+    /// Race-window quantities of one release under this configuration's
+    /// delay ratio: `(loss, keep)`, where `loss` is the probability an
+    /// override is out-raced during propagation and `keep = e^{−λ}` is
+    /// the probability a matching prefix reaches the network before any
+    /// honest race block (`λ = β · delay_ratio`). Both are exactly
+    /// `(0, 1)` at `delay_ratio = 0`, which is what keeps the zero-delay
+    /// kernel byte-identical to the classic one.
+    pub(crate) fn release_race(&self) -> (f64, f64) {
+        let beta = 1.0 - self.alpha;
+        let lambda = beta * self.delay_ratio;
+        let keep = (-lambda).exp();
+        let p1 = lambda * keep;
+        // Guard the tail against floating dust: e^{−λ}(1 + λ) ≤ 1
+        // mathematically, but the rounded sum may overshoot by an ulp.
+        let p2 = (1.0 - keep - p1).max(0.0);
+        let tie_win = self.alpha + self.gamma * beta;
+        let loss = (p1 * (1.0 - tie_win) + p2).clamp(0.0, 1.0);
+        (loss, keep)
     }
 
     /// The effective worker count for this configuration.
@@ -381,7 +446,19 @@ impl MdpConfig {
                 // honest chain's first block becomes an uncle at distance
                 // h + 1, referenced by the next main-chain block (attacker
                 // w.p. α).
+                //
+                // Under a positive delay ratio the release races its own
+                // propagation window: with probability `loss` honest race
+                // blocks out-grow the published one-block lead before it
+                // lands (see `release_race`), the attacker's whole private
+                // chain orphans, and the honest chain — approximated at
+                // its pre-race length plus the winning race block —
+                // settles instead. At `delay_ratio = 0`, `loss = 0` and
+                // the zero-probability branches are pruned, leaving the
+                // classic kernel bit-for-bit.
                 debug_assert!(a > h);
+                let (loss, _) = self.release_race();
+                let win = 1.0 - loss;
                 let d = h + 1;
                 let has_uncle = refs && h >= 1;
                 let (hu, kn, unc) = if has_uncle {
@@ -390,9 +467,10 @@ impl MdpConfig {
                     (0.0, 0.0, 0.0)
                 };
                 let settled = (h + 1) as f64;
-                vec![
+                let lost = (h + 1) as f64;
+                let mut out = vec![
                     mk(
-                        alpha,
+                        win * alpha,
                         MdpState::new(a - h, 0, Fork::Irrelevant),
                         settled + kn,
                         hu,
@@ -400,14 +478,32 @@ impl MdpConfig {
                         unc,
                     ),
                     mk(
-                        beta,
+                        win * beta,
                         MdpState::new(a - h - 1, 1, Fork::Relevant),
                         settled,
                         hu + kn,
                         settled,
                         unc,
                     ),
-                ]
+                    mk(
+                        loss * alpha,
+                        MdpState::new(1, 0, Fork::Irrelevant),
+                        0.0,
+                        lost,
+                        lost,
+                        0.0,
+                    ),
+                    mk(
+                        loss * beta,
+                        MdpState::new(0, 1, Fork::Relevant),
+                        0.0,
+                        lost,
+                        lost,
+                        0.0,
+                    ),
+                ];
+                out.retain(|o| o.prob > 0.0);
+                out
             }
             Action::Wait if fork != Fork::Active => {
                 vec![
@@ -457,6 +553,16 @@ impl MdpConfig {
                 } else {
                     (0.0, 0.0, 0.0)
                 };
+                // Initiating a match is a release, so under delay the
+                // prefix only splits the honest miners it beats to the
+                // wire: the effective tie-breaking power is γ·e^{−λ}.
+                // Waiting on an *active* race keeps the full γ — both
+                // branches are already public.
+                let g_eff = if action == Action::Match {
+                    gamma * self.release_race().1
+                } else {
+                    gamma
+                };
                 let mut out = vec![
                     mk(
                         alpha,
@@ -467,7 +573,7 @@ impl MdpConfig {
                         0.0,
                     ),
                     mk(
-                        gamma * beta,
+                        g_eff * beta,
                         MdpState::new(a - h, 1, Fork::Relevant),
                         h as f64,
                         hu + kn,
@@ -475,7 +581,7 @@ impl MdpConfig {
                         unc,
                     ),
                     mk(
-                        (1.0 - gamma) * beta,
+                        (1.0 - g_eff) * beta,
                         MdpState::new(a, h + 1, Fork::Relevant).with_match_d(if refs {
                             d_active
                         } else {
@@ -567,6 +673,11 @@ impl MdpConfig {
                 return Err(MdpError::InvalidTolerance { tolerance });
             }
         }
+        if !self.delay_ratio.is_finite() || self.delay_ratio < 0.0 {
+            return Err(MdpError::InvalidDelay {
+                delay_ratio: self.delay_ratio,
+            });
+        }
         Ok(())
     }
 }
@@ -582,17 +693,120 @@ mod tests {
     #[test]
     fn outcome_probabilities_sum_to_one() {
         for rewards in [RewardModel::Bitcoin, RewardModel::EthereumApprox] {
-            let c = MdpConfig::new(0.3, 0.5, rewards).with_max_len(20);
-            for s in c.states().into_iter().filter(|s| s.a <= 6 && s.h <= 6) {
-                for action in c.legal_actions(s) {
-                    let total: f64 = c.outcomes(s, action).iter().map(|o| o.prob).sum();
+            for delay in [0.0, 0.4615, 0.92] {
+                let c = MdpConfig::new(0.3, 0.5, rewards)
+                    .with_max_len(20)
+                    .with_delay_ratio(delay);
+                for s in c.states().into_iter().filter(|s| s.a <= 6 && s.h <= 6) {
+                    for action in c.legal_actions(s) {
+                        let total: f64 = c.outcomes(s, action).iter().map(|o| o.prob).sum();
+                        assert!(
+                            (total - 1.0).abs() < 1e-12,
+                            "{s} {action:?} delay {delay}: probabilities sum to {total}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_delay_kernel_is_bit_identical_to_the_classic_one() {
+        let classic = MdpConfig::new(0.35, 0.5, RewardModel::EthereumApprox).with_max_len(12);
+        let zero = classic.with_delay_ratio(0.0);
+        for s in classic.states() {
+            for action in classic.legal_actions(s) {
+                assert_eq!(
+                    classic.outcomes(s, action),
+                    zero.outcomes(s, action),
+                    "{s} {action:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn delayed_override_carries_a_loss_branch() {
+        let c = MdpConfig::new(0.4, 0.5, RewardModel::Bitcoin)
+            .with_max_len(20)
+            .with_delay_ratio(6.0 / 13.0);
+        let (loss, keep) = c.release_race();
+        // λ = 0.6 · 6/13 ≈ 0.277: a visible but sub-dominant race risk.
+        assert!(loss > 0.05 && loss < 0.25, "loss {loss}");
+        assert!(keep > 0.7 && keep < 1.0, "keep {keep}");
+        let outs = c.outcomes(MdpState::new(5, 2, Fork::Irrelevant), Action::Override);
+        assert_eq!(outs.len(), 4, "win and loss branches, α/β each");
+        let total: f64 = outs.iter().map(|o| o.prob).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        // Loss branches reset the attacker, pay it nothing, and settle
+        // the honest chain plus the winning race block.
+        for o in outs.iter().filter(|o| o.attacker_reward == 0.0) {
+            assert!(o.next.a <= 1 && o.next.h <= 1, "loss resets: {}", o.next);
+            assert_eq!(o.honest_reward, 3.0);
+            assert_eq!(o.regular, 3.0);
+        }
+        // The win branches still pay h + 1 settled attacker blocks.
+        let win_mass: f64 = outs
+            .iter()
+            .filter(|o| o.attacker_reward > 0.0)
+            .map(|o| o.prob)
+            .sum();
+        assert!((win_mass - (1.0 - loss)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delayed_match_shrinks_gamma_but_active_wait_keeps_it() {
+        let c = MdpConfig::new(0.3, 0.5, RewardModel::Bitcoin)
+            .with_max_len(20)
+            .with_delay_ratio(0.5);
+        let beta = 0.7;
+        let keep = c.release_race().1;
+        // Initiating the match: the γβ win outcome is scaled by e^{−λ}.
+        let outs = c.outcomes(MdpState::new(3, 2, Fork::Relevant), Action::Match);
+        let win = outs
+            .iter()
+            .find(|o| o.attacker_reward > 0.0)
+            .expect("match win branch");
+        assert!((win.prob - 0.5 * keep * beta).abs() < 1e-12);
+        // Waiting on the already-public race keeps the full γ.
+        let outs = c.outcomes(MdpState::active(3, 2, 1), Action::Wait);
+        let win = outs
+            .iter()
+            .find(|o| o.attacker_reward > 0.0)
+            .expect("active win branch");
+        assert!((win.prob - 0.5 * beta).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delayed_successors_stay_in_state_space() {
+        let c = MdpConfig::new(0.45, 0.5, RewardModel::EthereumApprox)
+            .with_max_len(12)
+            .with_delay_ratio(0.9);
+        let space: std::collections::HashSet<MdpState> = c.states().into_iter().collect();
+        for &s in &c.states() {
+            for action in c.legal_actions(s) {
+                for o in c.outcomes(s, action) {
                     assert!(
-                        (total - 1.0).abs() < 1e-12,
-                        "{s} {action:?}: probabilities sum to {total}"
+                        space.contains(&o.next),
+                        "{s} --{action:?}--> {} escapes",
+                        o.next
                     );
                 }
             }
         }
+    }
+
+    #[test]
+    fn invalid_delay_ratio_is_rejected() {
+        for bad in [-0.1, f64::NAN, f64::INFINITY] {
+            let c = MdpConfig::new(0.3, 0.5, RewardModel::Bitcoin).with_delay_ratio(bad);
+            assert!(
+                matches!(c.validate(), Err(MdpError::InvalidDelay { .. })),
+                "delay_ratio {bad} must be rejected"
+            );
+        }
+        let c = MdpConfig::new(0.3, 0.5, RewardModel::Bitcoin).with_delay_ratio(0.9);
+        assert!(c.validate().is_ok());
     }
 
     #[test]

@@ -31,13 +31,16 @@
 //! `o` = override, `m` = match, `w` = wait; row-major,
 //! `index = a · (max_len + 1) + h`) — byte-identical to every artifact
 //! produced before the state space became explicit, so pre-existing
-//! files load and re-save losslessly. Tables with a `match_d` axis write
+//! files load and re-save losslessly. Tables with a `match_d` axis, or
+//! any table solved against a non-zero propagation delay, write
 //! **format 2** ([`FORMAT_VERSION`]): an explicit `dims` array naming
 //! every axis with its size (e.g. `["fork:3", "match_d:8", "a:31",
-//! "h:31"]`) and a single `actions` string of `∏ dims` codes in storage
-//! order. Hand-written tables may additionally carry a strategy-family
-//! name ([`PolicyTable::with_family`]), written as an optional `family`
-//! field. Floats are written with Rust's shortest round-trip formatting,
+//! "h:31"]`, or the three-axis `["fork:3", "a:201", "h:201"]` for
+//! delay-aware Bitcoin tables) and a single `actions` string of
+//! `∏ dims` codes in storage order. Hand-written tables may additionally
+//! carry a strategy-family name ([`PolicyTable::with_family`]), written
+//! as an optional `family` field; delay-aware tables record their delay
+//! ratio in an optional `delay` field. Floats are written with Rust's shortest round-trip formatting,
 //! so save → load is bit-identical. The reader is a small hand-rolled
 //! parser (the vendored `serde` is marker-only; see `vendor/README.md`)
 //! that accepts any field order and ignores unknown string, string-array
@@ -274,6 +277,13 @@ pub struct PolicyTable {
     scenario: Scenario,
     space: StateSpace,
     revenue: f64,
+    /// Propagation-delay ratio (delay / mean block interval) the policy
+    /// was solved against — `0.0` for the classic zero-delay kernel.
+    /// Serialized (as a `delay` field) only when non-zero, so
+    /// pre-existing artifacts stay byte-identical; any non-zero value
+    /// forces the self-describing format 2, since format 1's grammar
+    /// predates the field.
+    delay: f64,
     /// Name of the strategy family (plus parameters) this table encodes —
     /// e.g. `sm1` or `lead_stubborn_l2` for hand-written strategies from
     /// the zoo's generators. Empty for unnamed tables (solver lowerings,
@@ -294,6 +304,7 @@ impl PolicyTable {
     /// to the four-axis shape **without projection** — every `match_d`
     /// slice of the optimum is preserved.
     pub fn from_solution(config: &MdpConfig, solution: &Solution) -> Self {
+        let delay = config.delay_ratio;
         let policy = &solution.policy;
         let space = match config.rewards {
             RewardModel::Bitcoin => StateSpace::classic(config.max_len),
@@ -322,6 +333,7 @@ impl PolicyTable {
             solution.revenue,
             lookup,
         )
+        .with_delay(delay)
     }
 
     /// Build a table from an arbitrary `(a, h, fork, match_d) → Action`
@@ -357,6 +369,7 @@ impl PolicyTable {
             scenario,
             space,
             revenue,
+            delay: 0.0,
             family: String::new(),
             actions,
         }
@@ -404,6 +417,27 @@ impl PolicyTable {
             "family name {family:?} needs escaping, which the artifact format forbids"
         );
         self.family = family;
+        self
+    }
+
+    /// Tag the table with the propagation-delay ratio it was solved
+    /// against (delay / mean block interval; see
+    /// [`MdpConfig::with_delay_ratio`]). [`PolicyTable::from_solution`]
+    /// copies the ratio from the config automatically; this builder is
+    /// for hand-constructed tables. A non-zero ratio forces the
+    /// self-describing format 2 on serialization.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `delay` is negative or non-finite — those never come
+    /// out of a validated solve.
+    #[must_use]
+    pub fn with_delay(mut self, delay: f64) -> Self {
+        assert!(
+            delay.is_finite() && delay >= 0.0,
+            "delay ratio {delay} must be finite and non-negative"
+        );
+        self.delay = delay;
         self
     }
 
@@ -464,6 +498,12 @@ impl PolicyTable {
         self.revenue
     }
 
+    /// The propagation-delay ratio the policy was solved against —
+    /// `0.0` for classic zero-delay artifacts.
+    pub fn delay(&self) -> f64 {
+        self.delay
+    }
+
     /// The strategy-family name set via [`PolicyTable::with_family`], or
     /// `""` for unnamed tables.
     pub fn family(&self) -> &str {
@@ -502,6 +542,15 @@ impl PolicyTable {
     /// always-legal forced *adopt*. Legality never depends on `match_d`;
     /// the distance only selects the slice consulted.
     ///
+    /// On the truncation boundary (`a == max_len` or `h == max_len`) the
+    /// executors mirror the solver's own boundary rule exactly: the MDP
+    /// removes *wait* and *match* from the legal set there (growing
+    /// either chain would leave the truncated space), so a stored
+    /// *wait*/*match* at the boundary degrades to the forced *adopt* —
+    /// one slot earlier than the out-of-region fallback, which is the
+    /// point: the replayed chain state never escapes the region the
+    /// policy was solved on.
+    ///
     /// This is the single decision procedure shared by every executor that
     /// replays artifacts over real block trees (the instant-broadcast
     /// engine's `PoolStrategy::Table` and the propagation-delay
@@ -510,12 +559,15 @@ impl PolicyTable {
     /// replay panic — at worst they concede epochs.
     #[inline]
     pub fn decide(&self, a: u32, h: u32, fork: Fork, match_d: u8) -> Action {
+        let at_boundary = a >= self.max_len() || h >= self.max_len();
         match self.action(a, h, fork, match_d) {
             Some(Action::Override) if a > h => Action::Override,
-            Some(Action::Match) if fork == Fork::Relevant && a >= h && h >= 1 => Action::Match,
-            Some(Action::Wait) => Action::Wait,
-            // Out-of-table states and illegal prescriptions fall back to
-            // the always-legal resolution.
+            Some(Action::Match) if !at_boundary && fork == Fork::Relevant && a >= h && h >= 1 => {
+                Action::Match
+            }
+            Some(Action::Wait) if !at_boundary => Action::Wait,
+            // Out-of-table states, boundary holds and illegal
+            // prescriptions fall back to the always-legal resolution.
             _ => Action::Adopt,
         }
     }
@@ -551,16 +603,19 @@ impl PolicyTable {
     // Serialization (hand-rolled: the vendored serde is marker-only)
     // ------------------------------------------------------------------
 
-    /// Render the artifact JSON: format 1 for classic three-axis tables
-    /// (byte-identical with pre-v2 artifacts), format 2 — explicit
-    /// `dims`, single `actions` string — for tables with a `match_d`
-    /// axis. Floats use Rust's shortest round-trip formatting, so
-    /// [`PolicyTable::from_json`] restores them bit-identically.
+    /// Render the artifact JSON: format 1 for classic three-axis
+    /// zero-delay tables (byte-identical with pre-v2 artifacts), format 2
+    /// — explicit `dims`, single `actions` string — for tables with a
+    /// `match_d` axis *or* a non-zero delay ratio (the `delay` field
+    /// postdates format 1's grammar, so delay-aware tables always write
+    /// the self-describing format). Floats use Rust's shortest
+    /// round-trip formatting, so [`PolicyTable::from_json`] restores
+    /// them bit-identically.
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(self.actions.len() + 512);
         out.push_str("{\n");
         out.push_str(&format!("  \"kind\": \"{KIND}\",\n"));
-        let format = if self.space.has_match_d() {
+        let format = if self.space.has_match_d() || self.delay != 0.0 {
             FORMAT_VERSION
         } else {
             FORMAT_V1
@@ -580,12 +635,15 @@ impl PolicyTable {
         out.push_str(&format!("  \"scenario\": \"{scenario}\",\n"));
         out.push_str(&format!("  \"max_len\": {},\n", self.max_len()));
         out.push_str(&format!("  \"revenue\": {},\n", self.revenue));
-        // Written only when set: artifacts predating the field stay
-        // byte-identical across a load/save cycle.
+        // Written only when non-zero / non-empty: artifacts predating
+        // these fields stay byte-identical across a load/save cycle.
+        if self.delay != 0.0 {
+            out.push_str(&format!("  \"delay\": {},\n", self.delay));
+        }
         if !self.family.is_empty() {
             out.push_str(&format!("  \"family\": \"{}\",\n", self.family));
         }
-        if self.space.has_match_d() {
+        if format == FORMAT_VERSION {
             let dims: Vec<String> = self
                 .space
                 .dims()
@@ -639,6 +697,7 @@ impl PolicyTable {
         let mut scenario: Option<String> = None;
         let mut max_len: Option<f64> = None;
         let mut revenue: Option<f64> = None;
+        let mut delay: Option<f64> = None;
         let mut family: Option<String> = None;
         let mut dims: Option<Vec<String>> = None;
         let mut flat_actions: Option<String> = None;
@@ -670,6 +729,7 @@ impl PolicyTable {
                 "gamma" => gamma = Some(cur.parse_number()?),
                 "max_len" => max_len = Some(cur.parse_number()?),
                 "revenue" => revenue = Some(cur.parse_number()?),
+                "delay" => delay = Some(cur.parse_number()?),
                 // Unknown fields are skipped for forward compatibility.
                 _ => match cur.peek() {
                     Some(b'"') => {
@@ -725,6 +785,16 @@ impl PolicyTable {
             }
         };
 
+        let delay = delay.unwrap_or(0.0);
+        if !delay.is_finite() || delay < 0.0 {
+            return Err(PolicyError::Parse(format!("bad delay ratio {delay}")));
+        }
+        if delay != 0.0 && format == f64::from(FORMAT_V1) {
+            return Err(PolicyError::Parse(
+                "format-1 artifacts cannot carry a delay field".into(),
+            ));
+        }
+
         let (space, actions) = if format == f64::from(FORMAT_V1) {
             let space = StateSpace::classic(max_len);
             let slice = space.side() * space.side();
@@ -778,6 +848,7 @@ impl PolicyTable {
             scenario,
             space,
             revenue: revenue.ok_or_else(|| missing("revenue"))?,
+            delay,
             family: family.unwrap_or_default(),
             actions,
         })
@@ -831,6 +902,16 @@ fn parse_dims(dims: &[String], max_len: u32) -> Result<StateSpace, PolicyError> 
     }
     let side = (max_len + 1) as usize;
     match parsed.as_slice() {
+        // Classic three-axis tables appear in format 2 when they carry
+        // post-v1 metadata (a delay ratio).
+        [("fork", 3), ("a", a), ("h", h)] => {
+            if *a != side || *h != side {
+                return Err(PolicyError::Parse(format!(
+                    "dims disagree with max_len {max_len}: a:{a}, h:{h}"
+                )));
+            }
+            Ok(StateSpace::classic(max_len))
+        }
         [("fork", 3), ("match_d", d), ("a", a), ("h", h)] => {
             if *a != side || *h != side {
                 return Err(PolicyError::Parse(format!(
@@ -1144,6 +1225,92 @@ mod tests {
     }
 
     #[test]
+    fn decide_forces_resolution_on_the_truncation_boundary() {
+        // The solver removes wait/match from the legal set at
+        // a == max_len or h == max_len (either chain growing would leave
+        // the truncated space); the shared executor decision procedure
+        // must mirror that exactly, not one slot later.
+        let waits = PolicyTable::from_fn3(
+            0.3,
+            0.5,
+            RewardModel::Bitcoin,
+            Scenario::RegularRate,
+            4,
+            0.3,
+            |_, _, _| Action::Wait,
+        );
+        // Interior waits pass through...
+        assert_eq!(waits.decide(3, 3, Fork::Irrelevant, 0), Action::Wait);
+        // ...boundary waits resolve, on either axis, corner included.
+        assert_eq!(waits.decide(4, 0, Fork::Irrelevant, 0), Action::Adopt);
+        assert_eq!(waits.decide(0, 4, Fork::Relevant, 0), Action::Adopt);
+        assert_eq!(waits.decide(4, 4, Fork::Active, 0), Action::Adopt);
+
+        let matches = PolicyTable::from_fn3(
+            0.3,
+            0.5,
+            RewardModel::Bitcoin,
+            Scenario::RegularRate,
+            4,
+            0.3,
+            |_, _, _| Action::Match,
+        );
+        // A coverable relevant race at the boundary still must not match:
+        // the race state itself sits outside the solvable region.
+        assert_eq!(matches.decide(4, 4, Fork::Relevant, 0), Action::Adopt);
+        assert_eq!(matches.decide(4, 2, Fork::Relevant, 0), Action::Adopt);
+        assert_eq!(matches.decide(3, 2, Fork::Relevant, 0), Action::Match);
+
+        // Override with a lead stays legal on the boundary — it shrinks
+        // the state back into the region.
+        let honest = PolicyTable::honest(0.3, 0.5, 4);
+        assert_eq!(honest.decide(4, 1, Fork::Irrelevant, 0), Action::Override);
+        assert_eq!(honest.decide(4, 4, Fork::Relevant, 0), Action::Adopt);
+    }
+
+    #[test]
+    fn delay_metadata_round_trips_in_format_two() {
+        let ratio = 6.0 / 13.0;
+        let config = MdpConfig::new(0.4, 0.5, RewardModel::Bitcoin)
+            .with_max_len(8)
+            .with_delay_ratio(ratio);
+        let solution = config.solve().expect("solve");
+        let table = PolicyTable::from_solution(&config, &solution);
+        assert_eq!(table.delay(), ratio);
+        // A delay-aware Bitcoin table is three-axis but must write the
+        // self-describing format with its dims spelled out.
+        let json = table.to_json();
+        assert!(json.contains("\"format\": 2"), "{json}");
+        assert!(json.contains("\"dims\": [\"fork:3\", \"a:9\", \"h:9\"]"));
+        assert!(json.contains(&format!("\"delay\": {ratio}")));
+        let restored = PolicyTable::from_json(&json).expect("parse");
+        assert_eq!(table, restored);
+        assert_eq!(table.delay().to_bits(), restored.delay().to_bits());
+        // Zero-delay tables don't write the field and stay on format 1.
+        let classic = PolicyTable::honest(0.4, 0.5, 8);
+        assert_eq!(classic.delay(), 0.0);
+        assert!(!classic.to_json().contains("delay"));
+    }
+
+    #[test]
+    fn bad_delay_fields_are_rejected() {
+        let ratio = 6.0 / 13.0;
+        let config = MdpConfig::new(0.4, 0.5, RewardModel::Bitcoin)
+            .with_max_len(6)
+            .with_delay_ratio(ratio);
+        let solution = config.solve().expect("solve");
+        let json = PolicyTable::from_solution(&config, &solution).to_json();
+        let negative = json.replace(&format!("\"delay\": {ratio}"), "\"delay\": -0.5");
+        assert!(PolicyTable::from_json(&negative).is_err());
+        // The delay field postdates format 1's grammar; a format-1
+        // artifact claiming one is corrupt, not forward-compatible.
+        let v1 = PolicyTable::honest(0.3, 0.5, 4)
+            .to_json()
+            .replace("\"revenue\": 0.3,", "\"revenue\": 0.3,\n  \"delay\": 0.5,");
+        assert!(PolicyTable::from_json(&v1).is_err());
+    }
+
+    #[test]
     fn decide_consults_the_match_d_slice() {
         // A four-axis table whose prescription genuinely depends on the
         // distance: wait on rich prefixes (d ≤ 2), adopt otherwise.
@@ -1154,8 +1321,8 @@ mod tests {
             Scenario::RegularRate,
             StateSpace::with_match_d(6, 7),
             0.3,
-            |_, _, _, d| {
-                if (1..=2).contains(&d) {
+            |a, h, _, d| {
+                if (1..=2).contains(&d) && a < 6 && h < 6 {
                     Action::Wait
                 } else {
                     Action::Adopt
@@ -1223,8 +1390,10 @@ mod tests {
             );
             assert!(!four_d.is_legal_everywhere(), "{bad:?} on the d=5 slice");
         }
-        // Wait everywhere is legal (truncation fallbacks happen *outside*
-        // the region, which the audit deliberately does not cover).
+        // Wait on the truncation boundary is illegal — the solver removes
+        // wait/match from the legal set at a == max_len or h == max_len,
+        // and the executors mirror that exactly — so an everywhere-wait
+        // table flunks the audit...
         let waits = PolicyTable::from_fn3(
             0.3,
             0.5,
@@ -1234,7 +1403,24 @@ mod tests {
             0.3,
             |_, _, _| Action::Wait,
         );
-        assert!(waits.is_legal_everywhere());
+        assert!(!waits.is_legal_everywhere());
+        // ...while the same rule kept strictly inside the region passes.
+        let interior_waits = PolicyTable::from_fn3(
+            0.3,
+            0.5,
+            RewardModel::Bitcoin,
+            Scenario::RegularRate,
+            4,
+            0.3,
+            |a, h, _| {
+                if a < 4 && h < 4 {
+                    Action::Wait
+                } else {
+                    Action::Adopt
+                }
+            },
+        );
+        assert!(interior_waits.is_legal_everywhere());
     }
 
     #[test]

@@ -2107,7 +2107,9 @@ mod tests {
             |a, h, _| {
                 if a > h && h >= 1 {
                     Action::Override
-                } else if a + 1 >= h {
+                } else if a + 1 >= h && a < 10 && h < 10 {
+                    // Waiting is only legal strictly inside the
+                    // truncation region; the boundary must resolve.
                     Action::Wait
                 } else {
                     Action::Adopt
@@ -2119,6 +2121,48 @@ mod tests {
         assert_eq!(r.report.block_count(), 20_000);
         let share = r.revenue_share(0);
         assert!((0.0..=1.0).contains(&share), "share {share}");
+    }
+
+    #[test]
+    fn boundary_fallback_matches_an_explicitly_resolved_table() {
+        // Regression for the truncation-boundary reconciliation, delay
+        // engine side (the instant-broadcast engine has the twin test): a
+        // table whose boundary slots still say "wait" and the same table
+        // with those slots explicitly resolved to the solver's boundary
+        // rule must replay bit-for-bit identically. A tiny truncation
+        // walks the strategist onto the boundary constantly.
+        let mk = |boundary_resolved: bool| {
+            let table = PolicyTable::from_fn3(
+                0.4,
+                0.5,
+                RewardModel::Bitcoin,
+                Scenario::RegularRate,
+                3,
+                0.4,
+                move |a, h, _| {
+                    if boundary_resolved && (a >= 3 || h >= 3) {
+                        Action::Adopt
+                    } else {
+                        Action::Wait
+                    }
+                },
+            );
+            strategic_run(table, 0.4, 0.5, 3.0, RewardSchedule::bitcoin(), 12_000, 77)
+        };
+        let (implicit, explicit) = (mk(false), mk(true));
+        assert_eq!(
+            implicit.miner(0).total().to_bits(),
+            explicit.miner(0).total().to_bits()
+        );
+        assert_eq!(
+            implicit.report.total_reward().to_bits(),
+            explicit.report.total_reward().to_bits()
+        );
+        assert_eq!(implicit.report.stale_count, explicit.report.stale_count);
+        assert_eq!(
+            implicit.counters.released_blocks,
+            explicit.counters.released_blocks
+        );
     }
 
     #[test]

@@ -870,9 +870,10 @@ mod tests {
 
     #[test]
     fn playback_fallback_forces_adopt_outside_truncation() {
-        // An all-wait table truncated at 3: the live state walks out of the
-        // table, at which point the executor must force adopt. The state
-        // can therefore never grow beyond one step past the boundary.
+        // An all-wait table truncated at 3: the executor forces adopt the
+        // moment either chain reaches the boundary — the solver's own
+        // boundary rule — so the live state never leaves the truncated
+        // region at all.
         let mut s = table_sim(all_wait_table(3), 0.3, 0.5, 7);
         for _ in 0..2_000 {
             s.step();
@@ -882,16 +883,61 @@ mod tests {
             .keys()
             .fold((0, 0), |(ma, mh), &(a, h)| (ma.max(a), mh.max(h)));
         assert!(
-            max_a <= 4,
+            max_a <= 3,
             "private branch must adopt at the boundary: {max_a}"
         );
         assert!(
-            max_h <= 4,
+            max_h <= 3,
             "honest branch must be adopted at the boundary: {max_h}"
         );
         // Adopt abandons unpublished blocks: they settle as stale.
         let report = s.finalize();
         assert!(report.reward_report.stale_count > 0);
+    }
+
+    #[test]
+    fn boundary_fallback_is_bit_identical_to_an_explicitly_resolved_table() {
+        // Regression for the truncation-boundary reconciliation: a table
+        // whose boundary slots still say "wait" and the same table with
+        // those slots explicitly resolved to the solver's boundary rule
+        // must replay bit-for-bit identically — proof the executor's
+        // runtime fallback *is* the solver's forced resolution, not one
+        // slot later.
+        let resolved = seleth_mdp::PolicyTable::from_fn3(
+            0.3,
+            0.5,
+            seleth_mdp::RewardModel::Bitcoin,
+            seleth_chain::Scenario::RegularRate,
+            3,
+            0.3,
+            |a, h, _| {
+                if a >= 3 || h >= 3 {
+                    Action::Adopt
+                } else {
+                    Action::Wait
+                }
+            },
+        );
+        assert!(resolved.is_legal_everywhere());
+        let mut implicit = table_sim(all_wait_table(3), 0.3, 0.5, 7);
+        let mut explicit = table_sim(resolved, 0.3, 0.5, 7);
+        for _ in 0..2_000 {
+            implicit.step();
+            explicit.step();
+        }
+        // The walk genuinely reaches the boundary in this run...
+        assert!(
+            implicit.state_visits.keys().any(|&(a, h)| a == 3 || h == 3),
+            "strategist never reached the truncation boundary"
+        );
+        // ...and both tables traced exactly the same trajectory.
+        assert_eq!(implicit.state_visits, explicit.state_visits);
+        let (ri, re) = (implicit.finalize(), explicit.finalize());
+        assert_eq!(
+            ri.reward_report.miner(POOL).total().to_bits(),
+            re.reward_report.miner(POOL).total().to_bits()
+        );
+        assert_eq!(ri.reward_report.stale_count, re.reward_report.stale_count);
     }
 
     #[test]

@@ -207,6 +207,14 @@ impl Family {
     /// reward model their rule targets). Family actions do not depend on
     /// `(α, γ)` — the parameters are metadata (and the predicted revenue)
     /// only, exactly as for solver artifacts.
+    ///
+    /// The family rules are written for the unbounded state abstraction;
+    /// on the truncation boundary (`a == max_len` or `h == max_len`) the
+    /// lowering canonicalizes *wait*/*match* prescriptions to the
+    /// solver's boundary rule — *override* with a lead, *adopt*
+    /// otherwise — so every generated table passes
+    /// [`PolicyTable::is_legal_everywhere`] and replays identically to
+    /// what [`PolicyTable::decide`] would force anyway.
     pub fn table(&self, alpha: f64, gamma: f64, max_len: u32) -> PolicyTable {
         let (space, rewards) = if self.is_uncle_aware() {
             (StateSpace::ethereum(max_len), RewardModel::EthereumApprox)
@@ -220,9 +228,27 @@ impl Family {
             Scenario::RegularRate,
             space,
             self.predicted_revenue(alpha, gamma),
-            |a, h, fork, d| self.action(a, h, fork, d),
+            |a, h, fork, d| canonicalize_boundary(self.action(a, h, fork, d), a, h, max_len),
         )
         .with_family(self.id())
+    }
+}
+
+/// Resolve a family prescription on the truncation boundary: the MDP's
+/// legal set there is {*override* if `a > h`, *adopt*} — growing either
+/// chain would leave the truncated space — so stored *wait*/*match*
+/// canonicalize to the best still-legal resolution. Interior states pass
+/// through untouched. Public so tests comparing a raw [`Family::action`]
+/// against its lowered table can apply the same rule.
+pub fn canonicalize_boundary(action: Action, a: u32, h: u32, max_len: u32) -> Action {
+    if (a >= max_len || h >= max_len) && matches!(action, Action::Wait | Action::Match) {
+        if a > h {
+            Action::Override
+        } else {
+            Action::Adopt
+        }
+    } else {
+        action
     }
 }
 

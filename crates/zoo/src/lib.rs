@@ -56,6 +56,6 @@ pub mod families;
 pub mod registry;
 pub mod tournament;
 
-pub use families::{sm1_closed_form, Family};
+pub use families::{canonicalize_boundary, sm1_closed_form, Family};
 pub use registry::{RegisteredStrategy, StrategyRegistry, StrategySource};
 pub use tournament::{Cell, CellResult, StrategistOutcome, Tournament, TournamentConfig};

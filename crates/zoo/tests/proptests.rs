@@ -7,7 +7,7 @@
 use proptest::prelude::*;
 
 use seleth_mdp::{Fork, PolicyTable};
-use seleth_zoo::Family;
+use seleth_zoo::{canonicalize_boundary, Family};
 
 /// The family picked by an arbitrary byte (the vendored proptest has no
 /// enum strategies).
@@ -61,7 +61,9 @@ proptest! {
 
     /// Inside the truncation region, `decide` returns the honest and SM1
     /// prescriptions unchanged in every state — the replay executors never
-    /// degrade them to the forced adopt.
+    /// degrade them to the forced adopt. On the boundary itself the
+    /// lowering canonicalizes wait/match to the solver's boundary rule,
+    /// so the expectation is the canonicalized family action.
     #[test]
     fn honest_and_sm1_never_hit_the_fallback_in_region(
         alpha in 0.05f64..0.49,
@@ -76,7 +78,9 @@ proptest! {
                     for h in 0..=max_len {
                         prop_assert_eq!(
                             table.decide(a, h, fork, 0),
-                            family.action(a, h, fork, 0),
+                            canonicalize_boundary(
+                                family.action(a, h, fork, 0), a, h, max_len
+                            ),
                             "{} at ({}, {}, {:?})", family.id(), a, h, fork
                         );
                     }
@@ -124,7 +128,9 @@ proptest! {
                     for h in 0..=max_len {
                         prop_assert_eq!(
                             table.decide(a, h, fork, d),
-                            family.action(a, h, fork, d),
+                            canonicalize_boundary(
+                                family.action(a, h, fork, d), a, h, max_len
+                            ),
                             "{} at ({}, {}, {:?}, {})", family.id(), a, h, fork, d
                         );
                     }

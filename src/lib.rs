@@ -77,7 +77,8 @@ pub mod prelude {
     pub use seleth_core::threshold::{profitability_threshold, ThresholdOptions};
     pub use seleth_core::{Analysis, AnalysisError, ModelParams, RevenueBreakdown, State};
     pub use seleth_mdp::{
-        Action, Fork, MdpConfig, PolicyTable, RewardModel, SolveStats, StateSpace, MATCH_D_CAP,
+        Action, Fork, MdpConfig, PolicyTable, RewardModel, SolveStats, StateSpace, ValueCache,
+        MATCH_D_CAP,
     };
     pub use seleth_obs::{NoopRecorder, Recorder, Stopwatch, Telemetry, TelemetryShard, TraceLog};
     pub use seleth_sim::delay::{

@@ -1,0 +1,164 @@
+//! Tier-1 gates for the delay-aware (race-window) artifacts and the
+//! committed closed-loop study (`results/optimal_closed_loop.json`).
+//!
+//! The PR 8 kernel folds each release's orphan/loss probability into the
+//! MDP's transition rows, so artifacts solved at a nonzero
+//! delay/interval ratio price in the races the propagation-delay
+//! simulator will actually run. These gates hold the committed
+//! truncation-200 artifacts to that promise:
+//!
+//! 1. *Dominance*: at its design delay, a delay-aware artifact replayed
+//!    in the duopoly delay simulator must not trail the zero-delay
+//!    baseline (`bitcoin_a040_g050`) by more than 3 combined standard
+//!    errors or 1% absolute — and, under the pinned study seeds, must
+//!    strictly beat it.
+//! 2. *Metadata*: the artifacts carry their solve-time delay ratio and
+//!    truncation, and their self-predicted ρ* prices in the races (below
+//!    the zero-delay ρ*).
+//! 3. *Fault-layer identity*: an explicit [`FaultPlan::none`] replays a
+//!    delay-aware artifact bit-for-bit identically to the fault-free
+//!    configuration path.
+
+use std::path::Path;
+
+use selfish_ethereum::prelude::*;
+
+use seleth_bench::mean_stderr;
+
+const RUNS: u64 = 8;
+const BLOCKS: u64 = 30_000;
+const SEED: u64 = 31_337;
+/// Mean block interval used by the closed-loop study (seconds).
+const INTERVAL: f64 = 13.0;
+
+fn load_artifact(name: &str) -> PolicyTable {
+    let path = Path::new("results/policies").join(name);
+    PolicyTable::load(&path).unwrap_or_else(|e| panic!("committed artifact {name}: {e}"))
+}
+
+/// Replay `table` in the duopoly delay simulator at `delay` seconds —
+/// the closed-loop study's world, pinned seeds included.
+fn delay_playback(table: &PolicyTable, delay: f64, runs: u64, blocks: u64) -> Vec<f64> {
+    let config = DelayConfig::builder()
+        .shares(vec![table.alpha(), 1.0 - table.alpha()])
+        .policy(0, table.clone())
+        .tie_gamma(table.gamma())
+        .delay(delay)
+        .interval(INTERVAL)
+        .schedule(RewardSchedule::bitcoin())
+        .blocks(blocks)
+        .seed(SEED)
+        .build()
+        .expect("valid delay config");
+    (0..runs)
+        .map(|k| {
+            DelaySimulation::new(config.with_seed(SEED + k))
+                .run()
+                .revenue_share(0)
+        })
+        .collect()
+}
+
+/// The dominance gate shared by both design-delay tests: aware vs
+/// baseline at `delay` seconds, 3σ-or-1% tolerance plus the strict
+/// deterministic improvement under the pinned seeds.
+fn assert_aware_dominates(aware_name: &str, delay: f64) {
+    let aware = load_artifact(aware_name);
+    let base = load_artifact("bitcoin_a040_g050.json");
+    let (aware_mean, aware_se) = mean_stderr(&delay_playback(&aware, delay, RUNS, BLOCKS));
+    let (base_mean, base_se) = mean_stderr(&delay_playback(&base, delay, RUNS, BLOCKS));
+    let combined = aware_se.hypot(base_se);
+    assert!(
+        aware_mean >= base_mean - (3.0 * combined).max(0.01),
+        "{aware_name} at {delay}s: {aware_mean} trails the zero-delay \
+         baseline {base_mean} beyond 3σ-or-1%"
+    );
+    // Under the pinned seeds the replay is deterministic, so the study's
+    // measured improvement is a reproducible fact, not a noisy estimate.
+    assert!(
+        aware_mean > base_mean,
+        "{aware_name} at {delay}s: {aware_mean} must strictly beat the \
+         zero-delay baseline {base_mean} under the pinned study seeds"
+    );
+}
+
+#[test]
+fn six_second_artifact_dominates_the_baseline_at_its_design_delay() {
+    assert_aware_dominates("bitcoin_a040_g050_d6.json", 6.0);
+}
+
+#[test]
+fn twelve_second_artifact_dominates_the_baseline_at_its_design_delay() {
+    assert_aware_dominates("bitcoin_a040_g050_d12.json", 12.0);
+}
+
+#[test]
+fn aware_artifacts_carry_their_race_window_metadata() {
+    let base = load_artifact("bitcoin_a040_g050.json");
+    assert_eq!(base.delay(), 0.0, "the baseline is a zero-delay artifact");
+    for (name, seconds) in [
+        ("bitcoin_a040_g050_d6.json", 6.0),
+        ("bitcoin_a040_g050_d12.json", 12.0),
+    ] {
+        let aware = load_artifact(name);
+        assert_eq!(aware.delay(), seconds / INTERVAL, "{name} delay ratio");
+        assert_eq!(aware.max_len(), 200, "{name} truncation");
+        assert_eq!(aware.alpha(), base.alpha());
+        assert_eq!(aware.gamma(), base.gamma());
+        // The race-window kernel prices in orphan losses the zero-delay
+        // model ignores, so the self-predicted ρ* must drop.
+        assert!(
+            aware.predicted_revenue() < base.predicted_revenue(),
+            "{name} rho* {} must price in races (baseline {})",
+            aware.predicted_revenue(),
+            base.predicted_revenue()
+        );
+    }
+}
+
+#[test]
+fn fault_free_plans_replay_aware_artifacts_bit_identically() {
+    // The chaos layer's zero-fault identity, re-gated on a delay-aware
+    // artifact: an explicit FaultPlan::none() must not perturb a single
+    // rounding step of the closed-loop replay.
+    let aware = load_artifact("bitcoin_a040_g050_d6.json");
+    let plain_config = DelayConfig::builder()
+        .shares(vec![aware.alpha(), 1.0 - aware.alpha()])
+        .policy(0, aware.clone())
+        .tie_gamma(aware.gamma())
+        .delay(6.0)
+        .interval(INTERVAL)
+        .schedule(RewardSchedule::bitcoin())
+        .blocks(20_000)
+        .seed(SEED)
+        .build()
+        .expect("valid delay config");
+    let none_config = DelayConfig::builder()
+        .shares(vec![aware.alpha(), 1.0 - aware.alpha()])
+        .policy(0, aware.clone())
+        .tie_gamma(aware.gamma())
+        .delay(6.0)
+        .interval(INTERVAL)
+        .schedule(RewardSchedule::bitcoin())
+        .blocks(20_000)
+        .seed(SEED)
+        .faults(FaultPlan::none())
+        .build()
+        .expect("valid delay config");
+    let plain = DelaySimulation::new(plain_config).run();
+    let none = DelaySimulation::new(none_config).run();
+    assert_eq!(
+        plain.report.total_reward().to_bits(),
+        none.report.total_reward().to_bits(),
+        "FaultPlan::none() must not change the total reward"
+    );
+    assert_eq!(
+        plain.miner(0).total().to_bits(),
+        none.miner(0).total().to_bits(),
+        "FaultPlan::none() must not change the strategist's reward"
+    );
+    assert_eq!(
+        plain.counters.released_blocks,
+        none.counters.released_blocks
+    );
+}

@@ -119,7 +119,8 @@ fn state_space_descriptors_flow_through_the_prelude() {
     assert_eq!(eth.len(), 3 * 9 * 9 * usize::from(MATCH_D_CAP + 1));
 
     // A rule that genuinely reads the fourth axis: concede only on rich
-    // published prefixes.
+    // published prefixes (and at the truncation boundary, where waiting
+    // is no longer a legal prescription).
     let table = PolicyTable::from_fn(
         0.3,
         0.5,
@@ -127,8 +128,8 @@ fn state_space_descriptors_flow_through_the_prelude() {
         Scenario::RegularRate,
         eth,
         0.3,
-        |_, _, _, d| {
-            if (1..=2).contains(&d) {
+        |a, h, _, d| {
+            if (1..=2).contains(&d) || a >= 8 || h >= 8 {
                 Action::Adopt
             } else {
                 Action::Wait

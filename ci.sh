@@ -7,8 +7,12 @@ cd "$(dirname "$0")"
 echo "==> cargo build --release"
 cargo build --release
 
-echo "==> cargo test -q (workspace)"
-cargo test --workspace -q
+echo "==> cargo test -q (workspace, trace-dump-on-failure armed)"
+# SELETH_TRACE_ON_FAIL points the first-divergence diagnostics at a
+# scratch dir: when a bit-identity suite trips, the failure message
+# carries the first divergent event and both event traces land there
+# as JSON lines for offline diffing.
+SELETH_TRACE_ON_FAIL="$(mktemp -d)" cargo test --workspace -q
 
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
@@ -73,5 +77,13 @@ cargo run --release -q -p seleth-bench --bin perf_report -- \
 test -s "$CHAOS_SCRATCH/chaos_trace.jsonl"
 SELETH_RESULTS=results \
     cargo run --release -q -p seleth-bench --bin perf_report > /dev/null
+
+echo "==> perf_trend regression gate (smoke: first-run ledger tolerated)"
+# Compares the latest BENCH_history.jsonl row per bench bin against the
+# most recent earlier row from a comparable host and fails on
+# noise-banded regressions; --smoke passes when the ledger is still
+# seeding (absent or fewer than two comparable rows).
+SELETH_RESULTS=results \
+    cargo run --release -q -p seleth-bench --bin perf_report -- --trend --smoke
 
 echo "CI OK"

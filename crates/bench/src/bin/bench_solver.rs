@@ -19,10 +19,14 @@
 //!   repetition each) — the tiled-sweep scaling record behind the
 //!   truncation-200 delay-aware artifacts.
 //!
-//! The JSON ends with a `"telemetry"` block carrying the Dinkelbach
-//! solver's instrumentation (bisection count, sweeps per ρ iterate,
-//! warm-start hit rate, final residual); `--trace <path>` dumps one span
-//! per benchmark section as JSON lines.
+//! The JSON carries the shared `"host"` fingerprint block (identical to
+//! `BENCH_sim.json`'s, including `available_parallelism`) and ends with a
+//! `"telemetry"` block carrying the Dinkelbach solver's instrumentation
+//! (bisection count, sweeps per ρ iterate, warm-start hit rate, final
+//! residual); `--trace <path>` dumps one span per benchmark section as
+//! JSON lines. Every run also appends one snapshot row (git sha, host,
+//! headline metrics) to `BENCH_history.jsonl` — the ledger behind
+//! `perf_report --trend`.
 //!
 //! Usage: `cargo run --release -p seleth-bench --bin bench_solver`.
 //! Set `SELETH_MDP_LEN` to override the MDP truncation (the default of 60
@@ -202,6 +206,7 @@ fn main() {
     );
     field("reps", reps.to_string());
     field("revenue_check", format!("{:.9}", fast.revenue));
+    field("host", seleth_bench::host_fingerprint_json());
     telemetry.wall_ns = wall.elapsed_ns();
     telemetry.threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     telemetry.set_gauge("host.available_parallelism", telemetry.threads as f64);
@@ -213,6 +218,16 @@ fn main() {
     let path = dir.join("BENCH_solver.json");
     std::fs::write(&path, json).expect("write BENCH_solver.json");
     println!("wrote {}", path.display());
+    let ledger = seleth_bench::append_history_row(
+        "bench_solver",
+        &[
+            ("csr_spmv_ns", csr_spmv_ns),
+            ("stationary_solve_ms", stationary_s * 1e3),
+            ("mdp_solve_ms", fast_s * 1e3),
+            ("mdp_expansion_reuse_speedup", speedup),
+        ],
+    );
+    println!("appended history row to {}", ledger.display());
     write_trace(&trace, trace_path.as_ref());
 
     if speedup < 2.0 {

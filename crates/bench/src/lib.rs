@@ -136,6 +136,88 @@ pub fn json_f64(v: f64) -> String {
     format!("{v}")
 }
 
+/// The host fingerprint block shared by every perf artifact: both bench
+/// bins embed it as their `"host"` field and [`append_history_row`] stamps
+/// it into every ledger row, so the trend gate can restrict comparisons to
+/// rows from a comparable machine (`os`/`arch`/`available_parallelism` —
+/// the axes that move the headline numbers).
+pub fn host_fingerprint_json() -> String {
+    format!(
+        "{{\"os\": \"{}\", \"arch\": \"{}\", \"available_parallelism\": {}}}",
+        std::env::consts::OS,
+        std::env::consts::ARCH,
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    )
+}
+
+/// The current git commit sha, read by hand from `.git/HEAD` (following
+/// one `ref:` indirection, with a `packed-refs` fallback) — no subprocess,
+/// so the bins stay runnable in minimal containers. Walks up from the
+/// current directory to find the repository root; `"unknown"` outside a
+/// checkout.
+pub fn git_sha() -> String {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        let head = dir.join(".git").join("HEAD");
+        if let Ok(text) = fs::read_to_string(&head) {
+            let text = text.trim();
+            let Some(refname) = text.strip_prefix("ref: ") else {
+                return text.to_string(); // detached HEAD: the sha itself
+            };
+            let refname = refname.trim();
+            if let Ok(sha) = fs::read_to_string(dir.join(".git").join(refname)) {
+                return sha.trim().to_string();
+            }
+            if let Ok(packed) = fs::read_to_string(dir.join(".git").join("packed-refs")) {
+                for line in packed.lines() {
+                    if let Some(sha) = line.strip_suffix(refname) {
+                        return sha.trim().to_string();
+                    }
+                }
+            }
+            return "unknown".to_string();
+        }
+        if !dir.pop() {
+            return "unknown".to_string();
+        }
+    }
+}
+
+/// Append one perf-trajectory snapshot row for `bin` to
+/// `BENCH_history.jsonl` in [`results_dir`]: git sha, Unix timestamp, the
+/// [`host_fingerprint_json`] block and the headline `metrics`. One row per
+/// bench run — the ledger the `perf_report --trend` gate walks.
+///
+/// # Panics
+///
+/// Panics on I/O failure: experiment binaries have no recovery path.
+pub fn append_history_row(bin: &str, metrics: &[(&str, f64)]) -> PathBuf {
+    let dir = results_dir();
+    fs::create_dir_all(&dir).expect("create results directory");
+    let path = dir.join("BENCH_history.jsonl");
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let metrics_json: Vec<String> = metrics
+        .iter()
+        .map(|(k, v)| format!("\"{k}\": {}", json_f64(*v)))
+        .collect();
+    let row = format!(
+        "{{\"bin\": \"{bin}\", \"git_sha\": \"{}\", \"unix_time\": {unix_time}, \
+         \"host\": {}, \"metrics\": {{{}}}}}\n",
+        git_sha(),
+        host_fingerprint_json(),
+        metrics_json.join(", ")
+    );
+    let mut file = fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .expect("open BENCH_history.jsonl");
+    file.write_all(row.as_bytes()).expect("append history row");
+    path
+}
+
 /// Write a text file (e.g. hand-rolled JSON) into [`results_dir`],
 /// creating the directory if needed.
 ///
@@ -461,6 +543,53 @@ mod tests {
         std::env::remove_var("SELETH_POLICIES");
         std::env::remove_var("SELETH_RESULTS");
         let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn history_rows_round_trip_through_the_trend_parser() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        let dir = std::env::temp_dir().join("seleth-bench-history-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::env::set_var("SELETH_RESULTS", &dir);
+        let path = append_history_row(
+            "bench_sim",
+            &[
+                ("single_run_blocks_per_sec", 1.0e6),
+                ("single_run_ms", 200.0),
+            ],
+        );
+        append_history_row(
+            "bench_sim",
+            &[
+                ("single_run_blocks_per_sec", 1.05e6),
+                ("single_run_ms", 190.0),
+            ],
+        );
+        std::env::remove_var("SELETH_RESULTS");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let rows = seleth_obs::parse_history(&text).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].bin, "bench_sim");
+        // Both rows carry this host's fingerprint, so they are comparable.
+        assert_eq!(rows[0].host, rows[1].host);
+        assert!(rows[0].host.contains(std::env::consts::ARCH));
+        let report = seleth_obs::evaluate_trend(&rows, 1.5);
+        assert!(report.passed(), "{}", report.rendered);
+        assert_eq!(
+            report.compared, 2,
+            "both metrics of the bench_sim pair compare"
+        );
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn git_sha_reads_this_checkout() {
+        let sha = git_sha();
+        // This test runs inside the repository, so a real sha is expected:
+        // 40 hex characters, stable across two reads.
+        assert_eq!(sha.len(), 40, "sha: {sha}");
+        assert!(sha.chars().all(|c| c.is_ascii_hexdigit()));
+        assert_eq!(sha, git_sha());
     }
 
     #[test]

@@ -16,8 +16,16 @@
 //!   merge deterministically into a [`Telemetry`] summary whose counter
 //!   totals are bit-identical at any thread count.
 //! * **Profiles** ([`profile`]): a tiny JSON parser ([`json`]) and
-//!   [`render_profile`], which turns the `"telemetry"` block of any study
-//!   JSON into a human-readable report (used by the `perf_report` bin).
+//!   [`render_profile`], which turns the `"telemetry"` and `"event_log"`
+//!   blocks of any study JSON into a human-readable report (used by the
+//!   `perf_report` bin).
+//! * **Flight recorder** ([`events`]): a bounded ring-buffer [`EventLog`]
+//!   of canonical structured events with a rolling splitmix64 digest and
+//!   periodic checkpoints; [`trace_diff`] localizes the first divergent
+//!   event between two recordings when a bit-identity gate fails.
+//! * **Trend** ([`trend`]): parsing and noise-aware regression evaluation
+//!   of the `results/BENCH_history.jsonl` perf-trajectory ledger (the
+//!   `perf_report --trend` gate).
 //!
 //! Determinism contract: counter and histogram-bucket totals are plain
 //! `u64` sums of per-task values, so a merged [`Telemetry`] is invariant to
@@ -29,14 +37,18 @@
 #![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
 
+pub mod events;
 pub mod json;
 pub mod metrics;
 pub mod profile;
 pub mod recorder;
 pub mod telemetry;
+pub mod trend;
 
+pub use events::{trace_diff, Divergence, Event, EventKind, EventLog};
 pub use json::{parse_json, JsonError, JsonValue};
 pub use metrics::{Counter, Gauge, Histogram, Stopwatch};
 pub use profile::render_profile;
 pub use recorder::{NoopRecorder, Recorder, SpanEvent, TraceLog};
 pub use telemetry::{Telemetry, TelemetryShard, WorkerStats};
+pub use trend::{evaluate_trend, parse_history, TrendReport, TrendRow};

@@ -5,6 +5,8 @@ use std::path::Path;
 use std::sync::Mutex;
 use std::time::Instant;
 
+use crate::events::EventKind;
+
 /// A sink for telemetry signals emitted by instrumented code.
 ///
 /// All methods have empty default bodies, so the no-op implementation
@@ -53,6 +55,11 @@ pub trait Recorder: Send + Sync {
     /// Records a completed span: `name` ran on `worker` from `start_ns` to
     /// `end_ns` (both relative to [`Recorder::now_ns`]'s epoch).
     fn span(&self, _name: &str, _worker: usize, _start_ns: u64, _end_ns: u64) {}
+
+    /// Records one canonical flight-recorder event (see
+    /// [`crate::events`]).  The stock sink is [`crate::EventLog`]; the
+    /// default body is empty, so metrics-only recorders ignore events.
+    fn event(&self, _kind: EventKind, _actor: u32, _a: u64, _b: u64) {}
 }
 
 /// The recorder that records nothing.  Every method is the trait's empty

@@ -99,8 +99,10 @@ use seleth_chain::accounting::{self, MinerRewards};
 use seleth_chain::forkchoice::{longest_chain, TieBreak};
 use seleth_chain::{BlockId, BlockTree, MinerId, RewardSchedule};
 use seleth_mdp::{Action, Fork, PolicyTable, StateSpace};
+use seleth_obs::{EventKind, EventLog};
 
 use crate::config::SimError;
+use crate::engine::record_event;
 use crate::faults::{CrashTimeline, FaultPlan};
 
 /// The behaviour of one miner in the delay simulator.
@@ -607,6 +609,9 @@ pub struct DelaySimulation {
     /// Whether a partition window was active at the last mining event
     /// (tracks active → healed transitions for `partition_heals`).
     partition_open: bool,
+    /// Optional flight recorder ([`DelaySimulation::attach_events`]);
+    /// `None` (the default) keeps every instrumentation site one branch.
+    events: Option<Arc<EventLog>>,
 }
 
 /// Outcome of a delay run.
@@ -675,7 +680,23 @@ impl DelaySimulation {
             now: 0.0,
             counters: DelayCounters::default(),
             partition_open: false,
+            events: None,
         }
+    }
+
+    /// Attach a flight recorder: every mining event, hear, release, policy
+    /// decision and fault-coin outcome is recorded as a canonical
+    /// [`EventKind`] event. Recording only *reads* simulator state (never
+    /// the RNG), so an attached log cannot change a run's results — the
+    /// property the recording-enabled bit-identity gate in
+    /// `tests/flight_recorder.rs` asserts.
+    pub fn attach_events(&mut self, log: Arc<EventLog>) {
+        self.events = Some(log);
+    }
+
+    /// Detach the flight recorder, restoring the zero-overhead path.
+    pub fn detach_events(&mut self) -> Option<Arc<EventLog>> {
+        self.events.take()
     }
 
     /// Run to the block budget and account the tree.
@@ -743,6 +764,13 @@ impl DelaySimulation {
                 // arrival process stays exact for the remaining power).
                 if self.strategist_down(i, self.now) {
                     self.counters.thinned_events += 1;
+                    record_event(
+                        &self.events,
+                        EventKind::Thinned,
+                        miner.0,
+                        0,
+                        self.now.to_bits(),
+                    );
                     return;
                 }
                 self.counters.mining_events += 1;
@@ -751,6 +779,13 @@ impl DelaySimulation {
             None => {
                 if self.crash_faults && self.crashes.is_down(miner.0 as usize, self.now) {
                     self.counters.thinned_events += 1;
+                    record_event(
+                        &self.events,
+                        EventKind::Thinned,
+                        miner.0,
+                        0,
+                        self.now.to_bits(),
+                    );
                     return;
                 }
                 self.counters.mining_events += 1;
@@ -789,6 +824,13 @@ impl DelaySimulation {
             return; // already out (e.g. a matched prefix being overridden)
         }
         self.counters.released_blocks += 1;
+        record_event(
+            &self.events,
+            EventKind::Release,
+            producer.0,
+            id.index() as u64,
+            t.to_bits(),
+        );
         self.pub_time[id.index()] = t;
         let block = id.index() as u64;
         for v in 0..self.views.len() {
@@ -871,14 +913,35 @@ impl DelaySimulation {
                     };
                     if stalled {
                         self.counters.partition_stalls += 1;
+                        record_event(
+                            &self.events,
+                            EventKind::FaultStall,
+                            v as u32,
+                            block,
+                            u64::from(p.attempt),
+                        );
                     } else {
                         self.counters.drops += 1;
+                        record_event(
+                            &self.events,
+                            EventKind::FaultDrop,
+                            v as u32,
+                            block,
+                            u64::from(p.attempt),
+                        );
                     }
                     self.counters.regossip_attempts += 1;
                     enqueue(&mut self.views[v].pending, &self.pub_time, retry);
                     continue;
                 }
                 if self.link_faults && plan.duplicates(block, receiver, p.attempt) {
+                    record_event(
+                        &self.events,
+                        EventKind::FaultDuplicate,
+                        v as u32,
+                        block,
+                        u64::from(p.attempt),
+                    );
                     enqueue(
                         &mut self.views[v].pending,
                         &self.pub_time,
@@ -955,6 +1018,13 @@ impl DelaySimulation {
             // resync on recovery pick the chain back up.
             if self.crash_faults && self.strategist_down(chosen, t) {
                 self.counters.crash_misses += 1;
+                record_event(
+                    &self.events,
+                    EventKind::CrashMiss,
+                    self.strategists[chosen].miner.0,
+                    p.block.index() as u64,
+                    t.to_bits(),
+                );
                 continue;
             }
             if p.dup {
@@ -978,14 +1048,35 @@ impl DelaySimulation {
                     };
                     if stalled {
                         self.counters.partition_stalls += 1;
+                        record_event(
+                            &self.events,
+                            EventKind::FaultStall,
+                            receiver as u32,
+                            block,
+                            u64::from(p.attempt),
+                        );
                     } else {
                         self.counters.drops += 1;
+                        record_event(
+                            &self.events,
+                            EventKind::FaultDrop,
+                            receiver as u32,
+                            block,
+                            u64::from(p.attempt),
+                        );
                     }
                     self.counters.regossip_attempts += 1;
                     enqueue(&mut self.strategists[chosen].inbox, &self.pub_time, retry);
                     continue;
                 }
                 if self.link_faults && plan.duplicates(block, receiver, p.attempt) {
+                    record_event(
+                        &self.events,
+                        EventKind::FaultDuplicate,
+                        receiver as u32,
+                        block,
+                        u64::from(p.attempt),
+                    );
                     enqueue(
                         &mut self.strategists[chosen].inbox,
                         &self.pub_time,
@@ -1024,6 +1115,13 @@ impl DelaySimulation {
     /// forced-adopt path, identical to losing an epoch.
     fn resync_strategist(&mut self, i: usize, t: f64) {
         self.counters.crash_resyncs += 1;
+        record_event(
+            &self.events,
+            EventKind::CrashResync,
+            self.strategists[i].miner.0,
+            0,
+            t.to_bits(),
+        );
         let g = if self.partition_faults {
             let m = self.strategists[i].miner.0 as usize;
             self.config.faults.group_of(m, t)
@@ -1051,10 +1149,18 @@ impl DelaySimulation {
     /// Strategic miner `i` hears `block` at time `t`: update its private
     /// view of the `(a, h, fork, match_d)` state and consult the table.
     fn hear(&mut self, i: usize, block: BlockId, t: f64) {
+        record_event(
+            &self.events,
+            EventKind::Hear,
+            self.strategists[i].miner.0,
+            block.index() as u64,
+            t.to_bits(),
+        );
         let Self {
             tree,
             strategists,
             counters,
+            events,
             ..
         } = self;
         let s = &mut strategists[i];
@@ -1099,6 +1205,13 @@ impl DelaySimulation {
             // strictly ahead, ignore it.
             if tip_h >= base_h + s.private.len() as u64 {
                 counters.forced_adopts += 1;
+                record_event(
+                    events,
+                    EventKind::ForcedAdopt,
+                    s.miner.0,
+                    block.index() as u64,
+                    tip_h,
+                );
                 s.fork_base = block;
                 s.private.clear();
                 s.published_count = 0;
@@ -1117,18 +1230,40 @@ impl DelaySimulation {
         let s = &self.strategists[i];
         let a = u32::try_from(s.private.len()).unwrap_or(u32::MAX);
         let h = u32::try_from(s.h).unwrap_or(u32::MAX);
+        let miner = s.miner.0;
         match s.table.decide(a, h, s.fork, s.match_d) {
             Action::Wait => {}
             Action::Adopt => {
                 self.counters.adopts += 1;
+                record_event(
+                    &self.events,
+                    EventKind::Adopt,
+                    miner,
+                    u64::from(a),
+                    u64::from(h),
+                );
                 self.strategic_adopt(i);
             }
             Action::Override => {
                 self.counters.overrides += 1;
+                record_event(
+                    &self.events,
+                    EventKind::Override,
+                    miner,
+                    u64::from(a),
+                    u64::from(h),
+                );
                 self.strategic_override(i, t);
             }
             Action::Match => {
                 self.counters.matches += 1;
+                record_event(
+                    &self.events,
+                    EventKind::Match,
+                    miner,
+                    u64::from(a),
+                    u64::from(h),
+                );
                 self.strategic_match(i, t);
             }
         }
@@ -1203,6 +1338,13 @@ impl DelaySimulation {
             .tree
             .add_block(parent, miner, &refs)
             .expect("engine-created ids");
+        record_event(
+            &self.events,
+            EventKind::Mine,
+            miner.0,
+            id.index() as u64,
+            self.tree.height(id),
+        );
         self.pub_time.push(f64::INFINITY);
         let s = &mut self.strategists[i];
         s.private.push(id);
@@ -1264,6 +1406,13 @@ impl DelaySimulation {
             .tree
             .add_block(tip, miner, &refs)
             .expect("engine-created ids");
+        record_event(
+            &self.events,
+            EventKind::Mine,
+            miner.0,
+            id.index() as u64,
+            self.tree.height(id),
+        );
         self.pub_time.push(f64::INFINITY);
         self.release(id, self.now, miner);
     }

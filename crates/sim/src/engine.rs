@@ -34,6 +34,7 @@
 //! allocates nothing beyond what the block tree itself needs.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 use rand::Rng;
 use rand_chacha::rand_core::SeedableRng;
@@ -41,9 +42,26 @@ use rand_chacha::ChaCha12Rng;
 
 use seleth_chain::{BlockId, BlockTree, MinerId};
 use seleth_mdp::{Action, Fork, StateSpace};
+use seleth_obs::{EventKind, EventLog};
 
 use crate::config::{PoolStrategy, SimConfig};
 use crate::stats::SimReport;
+
+/// Record one flight-recorder event if a log is attached. Free function so
+/// call sites that have destructured `self` can still record; one branch
+/// when no log (or a disabled log) is attached.
+#[inline]
+pub(crate) fn record_event(
+    events: &Option<Arc<EventLog>>,
+    kind: EventKind,
+    actor: u32,
+    a: u64,
+    b: u64,
+) {
+    if let Some(log) = events {
+        log.record(kind, actor, a, b);
+    }
+}
 
 /// The miner id used for the selfish pool.
 pub const POOL: MinerId = MinerId(0);
@@ -77,6 +95,9 @@ pub struct Simulation {
     // --- statistics ---
     blocks_mined: u64,
     state_visits: HashMap<(u32, u32), u64>,
+    /// Optional flight recorder ([`Simulation::attach_events`]); `None`
+    /// (the default) keeps every instrumentation site a single branch.
+    events: Option<Arc<EventLog>>,
 }
 
 impl Simulation {
@@ -98,12 +119,28 @@ impl Simulation {
             match_d: 0,
             blocks_mined: 0,
             state_visits: HashMap::new(),
+            events: None,
         }
     }
 
     /// The configuration in force.
     pub fn config(&self) -> &SimConfig {
         &self.config
+    }
+
+    /// Attach a flight recorder: every mined block, publication and policy
+    /// decision is recorded as a canonical [`EventKind`] event. Recording
+    /// only *reads* engine state (it never touches the RNG), so an
+    /// attached — even enabled — log cannot change a run's results; the
+    /// recorder survives [`Simulation::reset`] so reused engines keep
+    /// recording across seeds.
+    pub fn attach_events(&mut self, log: Arc<EventLog>) {
+        self.events = Some(log);
+    }
+
+    /// Detach the flight recorder, restoring the zero-overhead path.
+    pub fn detach_events(&mut self) -> Option<Arc<EventLog>> {
+        self.events.take()
     }
 
     /// Re-arm this simulation for a fresh run under `config`, recycling the
@@ -332,6 +369,13 @@ impl Simulation {
     /// settle as stale); an already-published prefix stays in the tree as
     /// an uncle candidate.
     fn policy_adopt(&mut self) {
+        record_event(
+            &self.events,
+            EventKind::Adopt,
+            POOL.0,
+            self.private.len() as u64,
+            self.honest_branch.len() as u64,
+        );
         match self.honest_branch.last() {
             Some(&tip) => self.reset_epoch(tip),
             None => {
@@ -350,6 +394,13 @@ impl Simulation {
     /// *Override*: publish the first `h + 1` private blocks, orphaning the
     /// honest branch; the fork base moves to the last published block.
     fn policy_override(&mut self) {
+        record_event(
+            &self.events,
+            EventKind::Override,
+            POOL.0,
+            self.private.len() as u64,
+            self.honest_branch.len() as u64,
+        );
         let h = self.honest_branch.len();
         debug_assert!(self.private.len() > h, "override needs a > h");
         for i in 0..=h {
@@ -370,6 +421,13 @@ impl Simulation {
     /// honest height (the MDP's `match_d` semantics); re-matches — the
     /// progressive reveal — keep the original distance.
     fn policy_match(&mut self) {
+        record_event(
+            &self.events,
+            EventKind::Match,
+            POOL.0,
+            self.private.len() as u64,
+            self.honest_branch.len() as u64,
+        );
         let h = self.honest_branch.len();
         debug_assert!(self.private.len() >= h && h >= 1);
         for i in self.published_count..h {
@@ -442,16 +500,33 @@ impl Simulation {
             .add_block(parent, miner, &refs)
             .expect("engine only uses ids it created");
         self.published.push(false);
+        record_event(
+            &self.events,
+            EventKind::Mine,
+            miner.0,
+            id.index() as u64,
+            self.tree.height(id),
+        );
         id
     }
 
     fn publish(&mut self, id: BlockId) {
+        if !self.published[id.index()] {
+            record_event(
+                &self.events,
+                EventKind::Release,
+                self.tree.block(id).miner().0,
+                id.index() as u64,
+                self.tree.height(id),
+            );
+        }
         self.published[id.index()] = true;
     }
 
     fn publish_all_private(&mut self) {
         for i in self.published_count..self.private.len() {
-            self.published[self.private[i].index()] = true;
+            let id = self.private[i];
+            self.publish(id);
         }
         self.published_count = self.private.len();
     }

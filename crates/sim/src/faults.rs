@@ -107,6 +107,12 @@ pub struct FaultPlan {
     churn: Option<Churn>,
     downtimes: Vec<Downtime>,
     partitions: Vec<Partition>,
+    /// Divergence injection for the flight-recorder diagnostics
+    /// (`tests/flight_recorder.rs`): every loss coin of this block index
+    /// reports the *opposite* outcome. Still a pure function of the coin's
+    /// identity, so the perturbed schedule is as deterministic as the
+    /// original — exactly one block's deliveries change.
+    flip_drop_block: Option<u64>,
 }
 
 impl Default for FaultPlan {
@@ -184,6 +190,16 @@ impl FaultPlanBuilder {
         self
     }
 
+    /// Diagnostics-only divergence injection: flip the outcome of every
+    /// loss coin drawn for `block` (by tree index). Used by the
+    /// flight-recorder acceptance tests to manufacture a single, exactly
+    /// localizable mid-run divergence; not meant for studies.
+    #[doc(hidden)]
+    pub fn flip_drop_coin(&mut self, block: u64) -> &mut Self {
+        self.plan.flip_drop_block = Some(block);
+        self
+    }
+
     /// Validate the numeric content and produce the plan. Miner-count
     /// checks (downtime indices, partition group vectors) happen when the
     /// plan meets a share vector in
@@ -222,6 +238,7 @@ impl FaultPlan {
             churn: None,
             downtimes: Vec::new(),
             partitions: Vec::new(),
+            flip_drop_block: None,
         }
     }
 
@@ -276,9 +293,13 @@ impl FaultPlan {
         }
     }
 
-    /// `true` if any per-link fault (loss, duplication, jitter) is active.
+    /// `true` if any per-link fault (loss, duplication, jitter, or a
+    /// diagnostic coin flip) is active.
     pub(crate) fn has_link_faults(&self) -> bool {
-        self.loss > 0.0 || self.duplication > 0.0 || self.jitter > 0.0
+        self.loss > 0.0
+            || self.duplication > 0.0
+            || self.jitter > 0.0
+            || self.flip_drop_block.is_some()
     }
 
     /// `true` if any miner can ever be down.
@@ -327,7 +348,12 @@ impl FaultPlan {
 
     /// Loss coin for one delivery attempt.
     pub(crate) fn drops(&self, block: u64, receiver: u64, attempt: u32) -> bool {
-        self.loss > 0.0 && unit(self.hash(STREAM_LOSS, block, receiver, attempt)) < self.loss
+        let base =
+            self.loss > 0.0 && unit(self.hash(STREAM_LOSS, block, receiver, attempt)) < self.loss;
+        if self.flip_drop_block == Some(block) {
+            return !base;
+        }
+        base
     }
 
     /// Duplication coin for one successful delivery.

@@ -55,6 +55,7 @@
 
 mod config;
 pub mod delay;
+pub mod diagnose;
 mod engine;
 pub mod faults;
 pub mod multi;
@@ -62,6 +63,10 @@ pub mod pools;
 mod stats;
 
 pub use config::{PoolStrategy, SimConfig, SimConfigBuilder, SimError};
+pub use diagnose::{
+    delay_divergence, engine_divergence, explain_divergence, record_delay_run, record_engine_run,
+    TRACE_ON_FAIL_ENV,
+};
 pub use engine::Simulation;
 pub use faults::{FaultPlan, FaultPlanBuilder};
 pub use stats::SimReport;

@@ -80,12 +80,18 @@ pub mod prelude {
         Action, Fork, MdpConfig, PolicyTable, RewardModel, SolveStats, StateSpace, ValueCache,
         MATCH_D_CAP,
     };
-    pub use seleth_obs::{NoopRecorder, Recorder, Stopwatch, Telemetry, TelemetryShard, TraceLog};
+    pub use seleth_obs::{
+        evaluate_trend, parse_history, trace_diff, Divergence, Event, EventKind, EventLog,
+        NoopRecorder, Recorder, Stopwatch, Telemetry, TelemetryShard, TraceLog, TrendReport,
+        TrendRow,
+    };
     pub use seleth_sim::delay::{
         DelayConfig, DelayCounters, DelayReport, DelaySimulation, MinerStrategy,
     };
     pub use seleth_sim::{
-        multi, FaultPlan, FaultPlanBuilder, PoolStrategy, SimConfig, SimReport, Simulation,
+        delay_divergence, diagnose, engine_divergence, explain_divergence, multi, record_delay_run,
+        record_engine_run, FaultPlan, FaultPlanBuilder, PoolStrategy, SimConfig, SimReport,
+        Simulation, TRACE_ON_FAIL_ENV,
     };
     pub use seleth_zoo::{
         sm1_closed_form, Cell, Family, StrategyRegistry, Tournament, TournamentConfig,

@@ -177,7 +177,25 @@ fn fault_schedules_are_bit_identical_across_thread_counts() {
     };
     let single = outcome(1);
     let quad = outcome(4);
-    assert_eq!(single, quad, "fault schedules must not depend on threads");
+    if single != quad {
+        // First-divergence debugger: re-run the first disagreeing seed
+        // twice with the flight recorder attached and report the exact
+        // event where the traces split (dumping JSONL when
+        // SELETH_TRACE_ON_FAIL names a directory — ci.sh does).
+        let bad = seeds
+            .iter()
+            .zip(single.iter().zip(quad.iter()))
+            .find(|(_, (a, b))| a != b)
+            .map_or(seeds[0], |(s, _)| *s);
+        let config = chaotic_config(bad);
+        let cap = seleth_sim::diagnose::capacity_for(config.blocks());
+        let (_, left) = record_delay_run(&config, cap);
+        let (_, right) = record_delay_run(&config, cap);
+        panic!(
+            "fault schedules must not depend on threads (seed {bad}): {}",
+            explain_divergence("thread_invariance", &left, &right)
+        );
+    }
     // And the schedule is genuinely seed-sensitive, not degenerate.
     assert!(single.windows(2).any(|w| w[0] != w[1]));
 }

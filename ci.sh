@@ -69,6 +69,14 @@ SELETH_RESULTS="$CHAOS_SCRATCH" SELETH_POLICIES=results/policies \
     cargo run --release -q -p seleth-zoo --bin chaos_study -- --smoke \
     --trace "$CHAOS_SCRATCH/chaos_trace.jsonl"
 
+echo "==> topology_study smoke gate (peer-graph gossip propagation)"
+# Uniform anchor, the bit-identity-gated complete graph, and the
+# hub/leaf attacker-position pair under small budgets; gates the
+# complete graph bitwise against the uniform engine and the positional
+# revenue spread against the smoke noise floor.
+SELETH_RESULTS="$(mktemp -d)" SELETH_POLICIES=results/policies \
+    cargo run --release -q -p seleth-zoo --bin topology_study -- --smoke
+
 echo "==> perf_report smoke gate (telemetry renders end to end)"
 # The fresh smoke output and every committed study JSON must render;
 # the trace file must be non-empty JSON lines.

@@ -34,14 +34,16 @@
 use std::path::PathBuf;
 
 /// Study JSONs probed in the results directory when no files are named.
-const DEFAULT_STUDIES: [&str; 7] = [
+const DEFAULT_STUDIES: [&str; 9] = [
     "BENCH_sim.json",
     "BENCH_solver.json",
+    "BENCH_net.json",
     "optimal_sim.json",
     "delay_study.json",
     "optimal_closed_loop.json",
     "zoo_study.json",
     "chaos_study.json",
+    "topology_study.json",
 ];
 
 /// The noise band for `--trend`: `SELETH_TREND_BAND` (a factor > 1.0)

@@ -89,10 +89,18 @@ pub enum EventKind {
     Sweep,
     /// A warm start was applied. `a` = cached states, `b` = context.
     WarmStart,
+    /// A gossip edge delivered a block to a miner (graph propagation).
+    /// `actor` = receiving miner, `a` = block index, `b` = arrival-time
+    /// bits (time after release).
+    EdgeDelivery,
+    /// A block reached a miner through relay forwarding (two or more
+    /// edges on its earliest path). `actor` = receiving miner, `a` =
+    /// block index, `b` = hop count.
+    RelayHop,
 }
 
 /// Every kind, in stable code order (used by summaries and tests).
-pub const EVENT_KINDS: [EventKind; 16] = [
+pub const EVENT_KINDS: [EventKind; 18] = [
     EventKind::Mine,
     EventKind::Hear,
     EventKind::Release,
@@ -109,6 +117,8 @@ pub const EVENT_KINDS: [EventKind; 16] = [
     EventKind::Bisect,
     EventKind::Sweep,
     EventKind::WarmStart,
+    EventKind::EdgeDelivery,
+    EventKind::RelayHop,
 ];
 
 impl EventKind {
@@ -133,6 +143,8 @@ impl EventKind {
             EventKind::Bisect => 14,
             EventKind::Sweep => 15,
             EventKind::WarmStart => 16,
+            EventKind::EdgeDelivery => 17,
+            EventKind::RelayHop => 18,
         }
     }
 
@@ -156,6 +168,8 @@ impl EventKind {
             EventKind::Bisect => "bisect",
             EventKind::Sweep => "sweep",
             EventKind::WarmStart => "warm_start",
+            EventKind::EdgeDelivery => "edge_delivery",
+            EventKind::RelayHop => "relay_hop",
         }
     }
 }

@@ -63,6 +63,22 @@ impl TelemetryShard {
         }
     }
 
+    /// Records `n` identical samples of the named distribution at once
+    /// (see [`Histogram::observe_n`]).
+    #[inline]
+    pub fn observe_n(&mut self, key: &str, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        if let Some(h) = self.histograms.get_mut(key) {
+            h.observe_n(value, n);
+        } else {
+            let mut h = Histogram::new();
+            h.observe_n(value, n);
+            self.histograms.insert(key.to_string(), h);
+        }
+    }
+
     /// Current value of the named counter (0 if never written).
     #[must_use]
     pub fn counter(&self, key: &str) -> u64 {

@@ -50,6 +50,12 @@ pub enum SimError {
         /// What was wrong with the plan.
         reason: String,
     },
+    /// A propagation topology disagrees with the run's share vector (see
+    /// `seleth_net::Topology`).
+    InvalidTopology {
+        /// What was wrong with the topology.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -78,6 +84,9 @@ impl fmt::Display for SimError {
             ),
             SimError::InvalidFaultPlan { reason } => {
                 write!(f, "invalid fault plan: {reason}")
+            }
+            SimError::InvalidTopology { reason } => {
+                write!(f, "invalid propagation topology: {reason}")
             }
         }
     }

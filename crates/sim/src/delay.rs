@@ -99,6 +99,7 @@ use seleth_chain::accounting::{self, MinerRewards};
 use seleth_chain::forkchoice::{longest_chain, TieBreak};
 use seleth_chain::{BlockId, BlockTree, MinerId, RewardSchedule};
 use seleth_mdp::{Action, Fork, PolicyTable, StateSpace};
+use seleth_net::Topology;
 use seleth_obs::{EventKind, EventLog};
 
 use crate::config::SimError;
@@ -125,6 +126,23 @@ impl MinerStrategy {
     }
 }
 
+/// How released blocks reach the other miners.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub enum PropagationModel {
+    /// The uniform model: every miner hears every block exactly `delay`
+    /// after release (the original delay engine).
+    #[default]
+    Uniform,
+    /// Gossip over a peer graph ([`seleth_net::Topology`]): each miner
+    /// hears each block at its graph-shortest-path arrival time. The
+    /// per-receiver surcharge relative to the base `delay` folds into the
+    /// same pending-queue machinery the uniform model uses, so a
+    /// complete-graph topology whose edge latency equals `delay`
+    /// reproduces the uniform engine bit-for-bit. Shared via [`Arc`]:
+    /// cloning a configuration per seed never copies the graph.
+    Graph(Arc<Topology>),
+}
+
 /// Configuration of a delay study run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DelayConfig {
@@ -137,6 +155,7 @@ pub struct DelayConfig {
     seed: u64,
     schedule: RewardSchedule,
     faults: FaultPlan,
+    propagation: PropagationModel,
 }
 
 /// Builder for [`DelayConfig`].
@@ -151,6 +170,7 @@ pub struct DelayConfigBuilder {
     seed: u64,
     schedule: RewardSchedule,
     faults: FaultPlan,
+    propagation: PropagationModel,
 }
 
 impl Default for DelayConfigBuilder {
@@ -165,6 +185,7 @@ impl Default for DelayConfigBuilder {
             seed: 0,
             schedule: RewardSchedule::ethereum(),
             faults: FaultPlan::none(),
+            propagation: PropagationModel::Uniform,
         }
     }
 }
@@ -245,6 +266,20 @@ impl DelayConfigBuilder {
         self
     }
 
+    /// Choose the propagation model (default [`PropagationModel::Uniform`]).
+    pub fn propagation(&mut self, propagation: PropagationModel) -> &mut Self {
+        self.propagation = propagation;
+        self
+    }
+
+    /// Propagate over a peer graph — shorthand for
+    /// [`PropagationModel::Graph`]. The topology's miner count must equal
+    /// the share vector's length (checked at build).
+    pub fn topology(&mut self, topology: Topology) -> &mut Self {
+        self.propagation = PropagationModel::Graph(Arc::new(topology));
+        self
+    }
+
     /// Validate and build.
     ///
     /// # Errors
@@ -293,6 +328,17 @@ impl DelayConfigBuilder {
             return Err(SimError::InvalidAlpha { alpha: self.delay });
         }
         self.faults.validate_for(self.shares.len())?;
+        if let PropagationModel::Graph(topology) = &self.propagation {
+            if topology.miner_count() != self.shares.len() {
+                return Err(SimError::InvalidTopology {
+                    reason: format!(
+                        "topology has {} miners but the share vector has {}",
+                        topology.miner_count(),
+                        self.shares.len()
+                    ),
+                });
+            }
+        }
         Ok(DelayConfig {
             shares: self.shares.clone(),
             strategies,
@@ -303,6 +349,7 @@ impl DelayConfigBuilder {
             seed: self.seed,
             schedule: self.schedule.clone(),
             faults: self.faults.clone(),
+            propagation: self.propagation.clone(),
         })
     }
 }
@@ -356,6 +403,12 @@ impl DelayConfig {
     /// The fault plan in force ([`FaultPlan::none`] by default).
     pub fn faults(&self) -> &FaultPlan {
         &self.faults
+    }
+
+    /// The propagation model in force ([`PropagationModel::Uniform`] by
+    /// default).
+    pub fn propagation(&self) -> &PropagationModel {
+        &self.propagation
     }
 
     /// A copy with a different seed (for multi-run averaging; shared
@@ -520,6 +573,24 @@ pub struct DelayCounters {
     pub released_blocks: u64,
     /// Blocks that ended the run off the main chain (uncles + stales).
     pub orphan_blocks: u64,
+    /// Graph mode: gossip messages sent over edges (all zero under the
+    /// uniform model, like the rest of the `gossip_*` family).
+    pub gossip_sends: u64,
+    /// Graph mode: copies dropped by a receiving node's seen-set.
+    pub gossip_dedup_drops: u64,
+    /// Graph mode: per-edge loss coins that forced a backoff re-send.
+    pub gossip_loss_retries: u64,
+    /// Graph mode: (block, miner) pairs the graph never delivered.
+    pub gossip_unreachable: u64,
+    /// Graph mode: deliveries whose earliest path was one edge.
+    pub gossip_hops_1: u64,
+    /// Graph mode: deliveries whose earliest path was two edges (e.g.
+    /// through one relay).
+    pub gossip_hops_2: u64,
+    /// Graph mode: deliveries whose earliest path was three edges.
+    pub gossip_hops_3: u64,
+    /// Graph mode: deliveries whose earliest path was four or more edges.
+    pub gossip_hops_4_plus: u64,
 }
 
 impl DelayCounters {
@@ -531,7 +602,7 @@ impl DelayCounters {
     }
 
     /// Counter values under their stable telemetry keys.
-    pub fn entries(&self) -> [(&'static str, u64); 16] {
+    pub fn entries(&self) -> [(&'static str, u64); 24] {
         [
             ("delay.mining_events", self.mining_events),
             ("delay.thinned_events", self.thinned_events),
@@ -549,10 +620,18 @@ impl DelayCounters {
             ("delay.matches", self.matches),
             ("delay.released_blocks", self.released_blocks),
             ("delay.orphan_blocks", self.orphan_blocks),
+            ("delay.gossip_sends", self.gossip_sends),
+            ("delay.gossip_dedup_drops", self.gossip_dedup_drops),
+            ("delay.gossip_loss_retries", self.gossip_loss_retries),
+            ("delay.gossip_unreachable", self.gossip_unreachable),
+            ("delay.gossip_hops_1", self.gossip_hops_1),
+            ("delay.gossip_hops_2", self.gossip_hops_2),
+            ("delay.gossip_hops_3", self.gossip_hops_3),
+            ("delay.gossip_hops_4_plus", self.gossip_hops_4_plus),
         ]
     }
 
-    fn entries_mut(&mut self) -> [(&'static str, &mut u64); 16] {
+    fn entries_mut(&mut self) -> [(&'static str, &mut u64); 24] {
         [
             ("delay.mining_events", &mut self.mining_events),
             ("delay.thinned_events", &mut self.thinned_events),
@@ -570,14 +649,58 @@ impl DelayCounters {
             ("delay.matches", &mut self.matches),
             ("delay.released_blocks", &mut self.released_blocks),
             ("delay.orphan_blocks", &mut self.orphan_blocks),
+            ("delay.gossip_sends", &mut self.gossip_sends),
+            ("delay.gossip_dedup_drops", &mut self.gossip_dedup_drops),
+            ("delay.gossip_loss_retries", &mut self.gossip_loss_retries),
+            ("delay.gossip_unreachable", &mut self.gossip_unreachable),
+            ("delay.gossip_hops_1", &mut self.gossip_hops_1),
+            ("delay.gossip_hops_2", &mut self.gossip_hops_2),
+            ("delay.gossip_hops_3", &mut self.gossip_hops_3),
+            ("delay.gossip_hops_4_plus", &mut self.gossip_hops_4_plus),
         ]
     }
 
-    /// Fold the totals into a telemetry shard under the `delay.` keys.
+    /// Fold the totals into a telemetry shard under the `delay.` keys,
+    /// plus the per-hop delivery histogram (`delay.gossip_hops`) rebuilt
+    /// from its deterministic bucket counters.
     pub fn record_into(&self, shard: &mut seleth_obs::TelemetryShard) {
         for (key, value) in self.entries() {
             shard.add(key, value);
         }
+        for (hops, n) in [
+            (1u64, self.gossip_hops_1),
+            (2, self.gossip_hops_2),
+            (3, self.gossip_hops_3),
+            (4, self.gossip_hops_4_plus),
+        ] {
+            shard.observe_n("delay.gossip_hops", hops, n);
+        }
+    }
+}
+
+/// Graph-propagation state of a run ([`PropagationModel::Graph`]): the
+/// topology plus the per-(block, receiver) arrival surcharges its gossip
+/// schedule produced.
+#[derive(Debug)]
+struct GraphNet {
+    topology: Arc<Topology>,
+    /// Flattened `[block_index * miners + receiver]` queue surcharges:
+    /// `arrival - delay` for cross-miner deliveries, `0.0` for the
+    /// producer's own view (its frontier adopts the block on the shared
+    /// schedule, exactly like the uniform model — instant self-visibility
+    /// comes from the pending self-scan), [`f64::INFINITY`] while a block
+    /// is withheld or unreachable.
+    extras: Vec<f64>,
+}
+
+impl GraphNet {
+    /// The surcharge of `block` toward `receiver` (`INFINITY` when the
+    /// block was never released or never reaches the receiver).
+    fn extra(&self, block: usize, miners: usize, receiver: usize) -> f64 {
+        self.extras
+            .get(block * miners + receiver)
+            .copied()
+            .unwrap_or(f64::INFINITY)
     }
 }
 
@@ -612,6 +735,9 @@ pub struct DelaySimulation {
     /// Optional flight recorder ([`DelaySimulation::attach_events`]);
     /// `None` (the default) keeps every instrumentation site one branch.
     events: Option<Arc<EventLog>>,
+    /// Graph-propagation state; `None` under the uniform model (every
+    /// graph branch is then one predictable-false test).
+    graph: Option<GraphNet>,
 }
 
 /// Outcome of a delay run.
@@ -652,8 +778,24 @@ impl DelaySimulation {
                 }),
             })
             .collect();
+        let graph = match config.propagation() {
+            PropagationModel::Uniform => None,
+            PropagationModel::Graph(topology) => Some(GraphNet {
+                topology: Arc::clone(topology),
+                extras: Vec::new(),
+            }),
+        };
         let plan = config.faults();
-        let views = (0..plan.view_count())
+        // Uniform mode: the shared view 0 plus one view per partition
+        // group. Graph mode: every miner has its own frontier (view
+        // index = miner index) because arrival times differ per receiver;
+        // partitions then act as timed graph cuts over the same views.
+        let view_count = if graph.is_some() {
+            config.shares().len()
+        } else {
+            plan.view_count()
+        };
+        let views = (0..view_count)
             .map(|_| PublicView {
                 best: genesis,
                 race: None,
@@ -681,6 +823,7 @@ impl DelaySimulation {
             counters: DelayCounters::default(),
             partition_open: false,
             events: None,
+            graph,
         }
     }
 
@@ -833,31 +976,126 @@ impl DelaySimulation {
         );
         self.pub_time[id.index()] = t;
         let block = id.index() as u64;
+        // Graph mode: one gossip propagation per release. Per-receiver
+        // arrivals fold into the queues' `extra` surcharge relative to
+        // the base delay: a complete/uniform topology yields exactly
+        // `0.0` for every pair (`latency - delay` on bitwise-equal
+        // values), which keeps every downstream comparison the same
+        // operation as under the uniform model. The schedule is a pure
+        // function of (topology, producer, block) — never the sim RNG.
+        if self.graph.is_some() {
+            self.gossip_release(id, producer);
+        }
         for v in 0..self.views.len() {
-            let extra = if self.link_faults {
-                self.config
-                    .faults
-                    .delivery_jitter(block, view_receiver(v), 0)
-            } else {
-                0.0
+            let mut extra = match &self.graph {
+                // The producer's own view keeps the shared schedule
+                // (extra 0.0, stored as such by gossip_release).
+                Some(net) => net.extra(id.index(), self.config.shares.len(), v),
+                None => 0.0,
             };
+            if !extra.is_finite() {
+                continue; // the graph never delivers it to this miner
+            }
+            if self.link_faults {
+                extra += self
+                    .config
+                    .faults
+                    .delivery_jitter(block, view_receiver(v), 0);
+            }
             enqueue(
                 &mut self.views[v].pending,
                 &self.pub_time,
                 Pending::first(id, extra),
             );
         }
+        let miners = self.config.shares.len();
         let link_faults = self.link_faults;
-        let plan = &self.config.faults;
-        for s in &mut self.strategists {
+        let Self {
+            strategists,
+            graph,
+            config,
+            pub_time,
+            ..
+        } = self;
+        let plan = &config.faults;
+        for s in strategists.iter_mut() {
             if s.miner != producer {
-                let extra = if link_faults {
-                    plan.delivery_jitter(block, s.miner.0 as u64, 0)
-                } else {
-                    0.0
+                let mut extra = match graph {
+                    Some(net) => net.extra(id.index(), miners, s.miner.0 as usize),
+                    None => 0.0,
                 };
-                enqueue(&mut s.inbox, &self.pub_time, Pending::first(id, extra));
+                if !extra.is_finite() {
+                    continue;
+                }
+                if link_faults {
+                    extra += plan.delivery_jitter(block, s.miner.0 as u64, 0);
+                }
+                enqueue(&mut s.inbox, pub_time, Pending::first(id, extra));
             }
+        }
+    }
+
+    /// Graph-mode half of [`DelaySimulation::release`]: run the gossip
+    /// schedule for one released block, store the per-receiver surcharges,
+    /// count edge-level activity, and (with a recorder attached) emit the
+    /// per-receiver `EdgeDelivery`/`RelayHop` events.
+    fn gossip_release(&mut self, id: BlockId, producer: MinerId) {
+        let miners = self.config.shares.len();
+        let src = producer.0 as usize;
+        let block = id.index() as u64;
+        let prop = {
+            let net = self.graph.as_ref().expect("caller checked graph mode");
+            net.topology.propagate(src, block)
+        };
+        self.counters.gossip_sends += prop.stats.sends;
+        self.counters.gossip_dedup_drops += prop.stats.dedup_drops;
+        self.counters.gossip_loss_retries += prop.stats.loss_retries;
+        for (r, (&arrival, &hops)) in prop.arrival.iter().zip(&prop.hops).enumerate() {
+            if r == src {
+                continue;
+            }
+            if !arrival.is_finite() {
+                self.counters.gossip_unreachable += 1;
+                continue;
+            }
+            match hops {
+                0 | 1 => self.counters.gossip_hops_1 += 1,
+                2 => self.counters.gossip_hops_2 += 1,
+                3 => self.counters.gossip_hops_3 += 1,
+                _ => self.counters.gossip_hops_4_plus += 1,
+            }
+        }
+        if self.events.is_some() {
+            for (r, (&arrival, &hops)) in prop.arrival.iter().zip(&prop.hops).enumerate() {
+                if r == src || !arrival.is_finite() {
+                    continue;
+                }
+                record_event(
+                    &self.events,
+                    EventKind::EdgeDelivery,
+                    r as u32,
+                    block,
+                    arrival.to_bits(),
+                );
+                if hops >= 2 {
+                    record_event(
+                        &self.events,
+                        EventKind::RelayHop,
+                        r as u32,
+                        block,
+                        u64::from(hops),
+                    );
+                }
+            }
+        }
+        let delay = self.config.delay;
+        let net = self.graph.as_mut().expect("caller checked graph mode");
+        let base = id.index() * miners;
+        if net.extras.len() < base + miners {
+            net.extras.resize(base + miners, f64::INFINITY);
+        }
+        for (r, &arrival) in prop.arrival.iter().enumerate() {
+            net.extras[base + r] = if r == src { 0.0 } else { arrival - delay };
         }
     }
 
@@ -898,10 +1136,17 @@ impl DelaySimulation {
                 // group but assigns the producer elsewhere stalls it.
                 let arrival = self.pub_time[front.index()] + self.config.delay + p.extra;
                 let producer = self.tree.block(front).miner().0 as usize;
+                // Graph mode: views are per-miner, so a partition stalls
+                // the delivery exactly when it cuts producer from the
+                // view's miner — the graph-cut reading of the same timed
+                // group vectors.
                 let stalled = self.partition_faults
-                    && plan
-                        .active_partition(arrival)
-                        .is_some_and(|part| part.uses_group(v) && part.groups[producer] != v);
+                    && if self.graph.is_some() {
+                        plan.cross_blocked(producer, v, arrival)
+                    } else {
+                        plan.active_partition(arrival)
+                            .is_some_and(|part| part.uses_group(v) && part.groups[producer] != v)
+                    };
                 if stalled || (self.link_faults && plan.drops(block, receiver, p.attempt)) {
                     let retry = Pending {
                         block: front,
@@ -1122,8 +1367,10 @@ impl DelaySimulation {
             0,
             t.to_bits(),
         );
-        let g = if self.partition_faults {
-            let m = self.strategists[i].miner.0 as usize;
+        let m = self.strategists[i].miner.0 as usize;
+        let g = if self.graph.is_some() {
+            m // per-miner views in graph mode
+        } else if self.partition_faults {
             self.config.faults.group_of(m, t)
         } else {
             0
@@ -1361,7 +1608,9 @@ impl DelaySimulation {
         // shared view 0 outside partitions), with a live race:
         // strategic-vs-honest ties split by tie_gamma, rival-strategist
         // ties split evenly...
-        let g = if self.partition_faults {
+        let g = if self.graph.is_some() {
+            miner.0 as usize // the miner's own frontier in graph mode
+        } else if self.partition_faults {
             self.config.faults.group_of(miner.0 as usize, self.now)
         } else {
             0
@@ -1456,7 +1705,21 @@ impl DelaySimulation {
             }
             for &u in self.tree.children(a) {
                 let released = self.pub_time[u.index()] < f64::INFINITY;
-                let propagated = self.pub_time[u.index()] <= horizon
+                // Graph mode: visibility is per-pair — the block must
+                // have finished its graph path *to this miner* by the
+                // horizon. The uniform expression is untouched (the
+                // complete/uniform surcharge is exactly 0.0, but keeping
+                // the original comparison makes the bit-identity claim
+                // local to this line).
+                let heard = match &self.graph {
+                    Some(net) => {
+                        self.pub_time[u.index()]
+                            + net.extra(u.index(), self.config.shares.len(), miner.0 as usize)
+                            <= horizon
+                    }
+                    None => self.pub_time[u.index()] <= horizon,
+                };
+                let propagated = heard
                     && (!self.partition_faults
                         || !self.config.faults.cross_blocked(
                             self.tree.block(u).miner().0 as usize,
@@ -2383,5 +2646,178 @@ mod tests {
         let mut shard = seleth_obs::TelemetryShard::new(0);
         m.record_into(&mut shard);
         assert_eq!(shard.counter("delay.mining_events"), 80_000);
+    }
+
+    #[test]
+    fn complete_uniform_topology_matches_uniform_engine_bitwise() {
+        // The acceptance gate in miniature: a complete graph whose every
+        // edge carries exactly the uniform delay folds to extra == 0.0
+        // bitwise, so the graph engine must replay the uniform engine's
+        // event order, RNG draws, and rewards exactly.
+        let base = |topo: Option<Topology>| {
+            let mut b = DelayConfig::builder();
+            b.shares(vec![0.25; 4])
+                .delay(6.0)
+                .blocks(15_000)
+                .seed(2)
+                .schedule(RewardSchedule::ethereum());
+            if let Some(t) = topo {
+                b.topology(t);
+            }
+            DelaySimulation::new(b.build().unwrap()).run()
+        };
+        let uniform = base(None);
+        let graph = base(Some(Topology::complete(4, 6.0).unwrap()));
+        assert_eq!(
+            uniform.report.total_reward().to_bits(),
+            graph.report.total_reward().to_bits()
+        );
+        for i in 0..4 {
+            assert_eq!(
+                uniform.miner(i).total().to_bits(),
+                graph.miner(i).total().to_bits(),
+                "miner {i}"
+            );
+        }
+        assert_eq!(uniform.report.stale_count, graph.report.stale_count);
+        assert_eq!(uniform.report.uncle_count, graph.report.uncle_count);
+        // Graph mode additionally reports gossip traffic the uniform
+        // engine never tracks.
+        assert_eq!(uniform.counters.gossip_sends, 0);
+        assert!(graph.counters.gossip_sends > 0);
+        assert_eq!(graph.counters.gossip_unreachable, 0);
+        assert!(graph.counters.gossip_hops_1 > 0, "complete graph is 1 hop");
+        assert_eq!(graph.counters.gossip_hops_2, 0);
+    }
+
+    #[test]
+    fn strategic_complete_topology_matches_uniform_engine_bitwise() {
+        // Same gate with a strategist in the mix: the private-fork release
+        // machinery and tie races must also see identical arrival times.
+        let base = |topo: Option<Topology>| {
+            let mut b = DelayConfig::builder();
+            b.shares(vec![0.35, 0.65])
+                .policy(0, sm1_table(0.35, 0.5, 12))
+                .tie_gamma(0.5)
+                .delay(2.0)
+                .blocks(10_000)
+                .seed(17)
+                .schedule(RewardSchedule::bitcoin());
+            if let Some(t) = topo {
+                b.topology(t);
+            }
+            DelaySimulation::new(b.build().unwrap()).run()
+        };
+        let uniform = base(None);
+        let graph = base(Some(Topology::complete(2, 2.0).unwrap()));
+        assert_eq!(
+            uniform.report.total_reward().to_bits(),
+            graph.report.total_reward().to_bits()
+        );
+        assert_eq!(
+            uniform.miner(0).total().to_bits(),
+            graph.miner(0).total().to_bits()
+        );
+        assert_eq!(uniform.report.stale_count, graph.report.stale_count);
+    }
+
+    #[test]
+    fn topology_miner_count_must_match_shares() {
+        let err = DelayConfig::builder()
+            .shares(vec![0.5, 0.5])
+            .topology(Topology::complete(3, 2.0).unwrap())
+            .build();
+        assert!(matches!(err, Err(SimError::InvalidTopology { .. })));
+    }
+
+    #[test]
+    fn peripheral_miner_orphans_more_than_well_connected() {
+        // Star with one distant spoke: the peripheral miner hears blocks
+        // late and loses more of its work than the well-connected peers.
+        let topo = Topology::star_relay(&[1.0, 1.0, 1.0, 12.0]).unwrap();
+        let config = DelayConfig::builder()
+            .shares(vec![0.25; 4])
+            .delay(6.0)
+            .blocks(30_000)
+            .seed(11)
+            .schedule(RewardSchedule::bitcoin())
+            .topology(topo)
+            .build()
+            .unwrap();
+        let r = DelaySimulation::new(config).run();
+        let near: f64 = (0..3).map(|i| r.stale_fraction(i)).sum::<f64>() / 3.0;
+        let far = r.stale_fraction(3);
+        assert!(
+            far > near,
+            "peripheral miner stale {far:.4} should exceed core {near:.4}"
+        );
+        assert!(
+            r.counters.gossip_hops_2 > 0,
+            "star topology routes through the relay hub"
+        );
+    }
+
+    #[test]
+    fn eclipsed_victim_loses_revenue() {
+        let topo = Topology::eclipse(4, 3, 1.0, 20.0).unwrap();
+        let config = DelayConfig::builder()
+            .shares(vec![0.25; 4])
+            .delay(6.0)
+            .blocks(30_000)
+            .seed(11)
+            .schedule(RewardSchedule::bitcoin())
+            .topology(topo)
+            .build()
+            .unwrap();
+        let r = DelaySimulation::new(config).run();
+        let inner: f64 = (0..3).map(|i| r.advantage(i)).sum::<f64>() / 3.0;
+        assert!(
+            r.advantage(3) < inner,
+            "eclipsed miner advantage {:.4} should trail the inner clique's {inner:.4}",
+            r.advantage(3)
+        );
+    }
+
+    #[test]
+    fn graph_mode_composes_with_partition_cuts() {
+        // A two-cluster graph plus a timed partition over the matching
+        // groups: during the window cross-cluster deliveries stall and
+        // re-enqueue, exactly like the uniform engine's group partitions.
+        let plan = FaultPlan::builder()
+            .partition(10_000.0, 14_000.0, vec![0, 0, 1, 1])
+            .seed(5)
+            .build()
+            .unwrap();
+        let config = DelayConfig::builder()
+            .shares(vec![0.25; 4])
+            .delay(4.0)
+            .blocks(20_000)
+            .seed(11)
+            .schedule(RewardSchedule::ethereum())
+            .topology(Topology::two_clusters(2, 2, 1.5, 6.0).unwrap())
+            .faults(plan)
+            .build()
+            .unwrap();
+        let r = DelaySimulation::new(config).run();
+        assert!(r.counters.partition_stalls > 0, "the cut must stall gossip");
+        assert_eq!(r.counters.partition_heals, 1, "one window closes once");
+        let baseline = {
+            let config = DelayConfig::builder()
+                .shares(vec![0.25; 4])
+                .delay(4.0)
+                .blocks(20_000)
+                .seed(11)
+                .schedule(RewardSchedule::ethereum())
+                .topology(Topology::two_clusters(2, 2, 1.5, 6.0).unwrap())
+                .build()
+                .unwrap();
+            DelaySimulation::new(config).run()
+        };
+        assert!(
+            r.orphan_rate() > baseline.orphan_rate(),
+            "a timed cut must raise the fork rate: {} vs {}",
+            r.orphan_rate(),
+            baseline.orphan_rate()
+        );
     }
 }

@@ -64,6 +64,7 @@ pub use seleth_chain as chain;
 pub use seleth_core as core;
 pub use seleth_markov as markov;
 pub use seleth_mdp as mdp;
+pub use seleth_net as net;
 pub use seleth_obs as obs;
 pub use seleth_sim as sim;
 pub use seleth_zoo as zoo;
@@ -80,13 +81,16 @@ pub mod prelude {
         Action, Fork, MdpConfig, PolicyTable, RewardModel, SolveStats, StateSpace, ValueCache,
         MATCH_D_CAP,
     };
+    pub use seleth_net::{
+        Latency, Link, NetError, NodeRole, Propagation, Topology, TopologyBuilder,
+    };
     pub use seleth_obs::{
         evaluate_trend, parse_history, trace_diff, Divergence, Event, EventKind, EventLog,
         NoopRecorder, Recorder, Stopwatch, Telemetry, TelemetryShard, TraceLog, TrendReport,
         TrendRow,
     };
     pub use seleth_sim::delay::{
-        DelayConfig, DelayCounters, DelayReport, DelaySimulation, MinerStrategy,
+        DelayConfig, DelayCounters, DelayReport, DelaySimulation, MinerStrategy, PropagationModel,
     };
     pub use seleth_sim::{
         delay_divergence, diagnose, engine_divergence, explain_divergence, multi, record_delay_run,

@@ -104,6 +104,49 @@ fn recording_is_bit_neutral_for_both_engines() {
     }
 }
 
+/// Graph-mode propagation records its own event kinds — one
+/// `edge_delivery` per (block, receiver) arrival and a `relay_hop` per
+/// multi-hop delivery — and recording stays bit-neutral there too.
+#[test]
+fn graph_mode_records_edge_deliveries_and_relay_hops() {
+    let config = DelayConfig::builder()
+        .shares(vec![0.25; 4])
+        .delay(6.0)
+        .blocks(5_000)
+        .seed(7)
+        .schedule(RewardSchedule::ethereum())
+        .topology(Topology::star_relay(&[1.0, 2.0, 3.0, 4.0]).expect("valid star"))
+        .build()
+        .expect("valid config");
+    let plain = DelaySimulation::new(config.clone()).run();
+    let (recorded, log) = record_delay_run(&config, capacity_for(config.blocks()));
+    assert_eq!(
+        plain.report.total_reward().to_bits(),
+        recorded.report.total_reward().to_bits()
+    );
+    assert_eq!(plain.counters, recorded.counters);
+    let count_of = |name: &str| {
+        log.counts_by_kind()
+            .iter()
+            .find(|(k, _)| k.name() == name)
+            .map_or(0, |(_, n)| *n)
+    };
+    let deliveries = count_of("edge_delivery");
+    let hops = count_of("relay_hop");
+    assert!(deliveries > 0, "graph releases record arrivals");
+    assert!(hops > 0, "star deliveries route through the hub (2 hops)");
+    assert!(
+        hops <= deliveries,
+        "every relay hop belongs to a delivery event"
+    );
+    let c = &recorded.counters;
+    assert_eq!(
+        deliveries,
+        c.gossip_hops_1 + c.gossip_hops_2 + c.gossip_hops_3 + c.gossip_hops_4_plus,
+        "one edge_delivery event per reachable non-producer arrival"
+    );
+}
+
 /// Recorded runs stay thread-invariant: sweeping the same seeds through
 /// `par_map` at 1 and 4 workers, each run with its own recorder, yields
 /// bit-identical reward bits *and* event digests.

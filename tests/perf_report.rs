@@ -6,13 +6,15 @@
 use std::path::Path;
 
 /// Every study JSON committed under `results/`.
-const STUDIES: [&str; 6] = [
+const STUDIES: [&str; 8] = [
     "BENCH_sim.json",
     "BENCH_solver.json",
+    "BENCH_net.json",
     "optimal_sim.json",
     "delay_study.json",
     "zoo_study.json",
     "chaos_study.json",
+    "topology_study.json",
 ];
 
 fn render(name: &str) -> String {
@@ -42,7 +44,12 @@ fn every_committed_study_renders_with_telemetry() {
 #[test]
 fn study_telemetry_carries_the_expected_signals() {
     // Delay-engine counters flow into every delay-driven study.
-    for name in ["delay_study.json", "zoo_study.json", "chaos_study.json"] {
+    for name in [
+        "delay_study.json",
+        "zoo_study.json",
+        "chaos_study.json",
+        "topology_study.json",
+    ] {
         let report = render(name);
         assert!(
             report.contains("delay.mining_events"),
@@ -71,6 +78,14 @@ fn study_telemetry_carries_the_expected_signals() {
     assert!(report.contains("sim.runs"));
     assert!(report.contains("bench.noop_overhead_ratio"));
     assert!(report.contains("workers:"));
+    // Graph-mode studies and the net bench surface the gossip layer.
+    let report = render("topology_study.json");
+    assert!(
+        report.contains("delay.gossip_sends"),
+        "topology study carries gossip counters"
+    );
+    let report = render("BENCH_net.json");
+    assert!(report.contains("bench.graph_vs_uniform_ratio"));
 }
 
 #[test]

@@ -229,6 +229,58 @@ fn error_types_are_std_errors() {
     assert_error::<selfish_ethereum::chain::ChainError>();
     assert_error::<selfish_ethereum::markov::SolveError>();
     assert_error::<selfish_ethereum::sim::SimError>();
+    assert_error::<NetError>();
+}
+
+#[test]
+fn network_types_flow_through_the_prelude() {
+    // Hand-build a topology with a relay and a lossy jittered edge, then
+    // drive the delay simulator in graph mode — the downstream workflow.
+    let mut b = Topology::builder();
+    let m0 = b.miner();
+    let m1 = b.miner();
+    let hub = b.relay();
+    b.link(m0, hub, 1.0);
+    b.link(m1, hub, 2.0);
+    b.edge_spec(Link {
+        from: m0,
+        to: m1,
+        latency: Latency::Uniform { lo: 0.5, hi: 1.5 },
+        loss: 0.1,
+        shortcut: false,
+    });
+    let topology = b.build().expect("valid topology");
+    assert_eq!(topology.miner_count(), 2);
+    assert_eq!(topology.relay_count(), 1);
+    assert_eq!(topology.node_count(), 3);
+    assert!(matches!(NodeRole::Miner(0), NodeRole::Miner(_)));
+
+    let p: Propagation = topology.propagate(0, 0);
+    assert_eq!(p.arrival[0], 0.0, "the producer holds its own block");
+    assert!(p.arrival[1].is_finite(), "the relay path delivers");
+    assert!(p.stats.sends > 0);
+
+    // Invalid shapes surface the typed error.
+    assert!(matches!(
+        Topology::builder().build(),
+        Err(NetError::NoMiners)
+    ));
+
+    // The propagation model threads through the delay configuration.
+    let config = DelayConfig::builder()
+        .shares(vec![0.5, 0.5])
+        .delay(2.0)
+        .blocks(1_000)
+        .seed(3)
+        .propagation(PropagationModel::Graph(std::sync::Arc::new(
+            Topology::complete(2, 2.0).expect("valid"),
+        )))
+        .build()
+        .expect("valid graph config");
+    assert!(matches!(config.propagation(), PropagationModel::Graph(_)));
+    let r = DelaySimulation::new(config).run();
+    assert_eq!(r.report.block_count(), 1_000);
+    assert!(r.counters.gossip_sends > 0);
 }
 
 #[test]
